@@ -1,0 +1,16 @@
+"""Shared scale settings for the figure benchmarks.
+
+Each benchmark regenerates one of the paper's figures at a reduced scale
+(fast enough for CI) and asserts the figure's qualitative shape — who wins,
+in which direction the curves move — rather than absolute numbers.
+``REPRO_SCALE`` grows the datasets toward paper scale.
+"""
+
+import pytest
+
+from repro.bench.context import BenchScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> BenchScale:
+    return BenchScale.default(record_count=10_000, operations=10_000)

@@ -1,0 +1,33 @@
+"""Ablations over HyperDB's design choices (§3).
+
+Asserted:
+* disabling preemptive block compaction does not reduce write traffic
+  (it exists to cut deep-level rewrites);
+* a very lax T_clean (0.9) leaves more stale data on SATA than an
+  aggressive one (0.2) — the space side of the trade-off;
+* the full configuration's throughput is competitive with every ablation
+  (no switch should be a pure win to turn off).
+"""
+
+from repro.bench.context import BenchScale
+from repro.bench.experiments import ablations
+
+
+def test_ablations(benchmark):
+    scale = BenchScale.default(record_count=8000, operations=8000, nvme_ratio=0.4)
+    result = benchmark.pedantic(lambda: ablations(scale), rounds=1, iterations=1)
+    raw = result["raw"]
+
+    def writes(label):
+        return raw[label].write_bytes("nvme") + raw[label].write_bytes("sata")
+
+    assert writes("no-preemptive") >= writes("hyperdb") * 0.9
+
+    rows = {r[0]: r for r in result["rows"]}
+    space_amp_lax = rows["t_clean=0.9"][4]
+    space_amp_tight = rows["t_clean=0.2"][4]
+    assert space_amp_lax >= space_amp_tight * 0.95
+
+    base = raw["hyperdb"].throughput_ops
+    for label in raw:
+        assert base > raw[label].throughput_ops * 0.6, label

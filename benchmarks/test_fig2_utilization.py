@@ -1,0 +1,37 @@
+"""Fig. 2: bandwidth and capacity utilization of the two multi-tier
+architectures (embedding = RocksDB, caching = PrismDB) under write-only load.
+
+Paper shapes asserted:
+* PrismDB's NVMe *capacity* utilization is far higher than RocksDB's
+  (>95% vs 40–80%), because RocksDB places whole levels (Fig. 2b).
+* PrismDB's migration gathers objects scattered across slab pages, so its
+  NVMe read volume rivals its write volume (reads up to 1.88x writes in
+  the paper's Fig. 2a).
+"""
+
+from repro.bench.context import BenchScale
+from repro.bench.experiments import fig2_utilization
+
+
+def test_fig2_utilization(benchmark):
+    # Constrained NVMe: the §2.3 motivation regime where migration is hot.
+    scale = BenchScale.default(record_count=10_000, operations=10_000, nvme_ratio=0.3)
+    result = benchmark.pedantic(
+        lambda: fig2_utilization(scale, threads=(1, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    raw = result["raw"]
+
+    prism = raw[("prismdb", 8)]
+    rocks = raw[("rocksdb", 8)]
+
+    # Caching architecture fills the performance tier; embedding cannot.
+    assert prism["nvme_capacity_util"] > rocks["nvme_capacity_util"] * 1.5
+    assert prism["nvme_capacity_util"] > 0.5
+
+    # Scattered migration reads: PrismDB's NVMe read traffic is substantial
+    # relative to its write traffic (the paper's Fig. 2a shows reads up to
+    # 1.88x writes on their hardware; our slabs pack denser, so the floor
+    # asserted here is lower).
+    assert prism["nvme_read_Bps"] > 0.25 * prism["nvme_write_Bps"]

@@ -1,0 +1,36 @@
+"""Fig. 3: compaction overhead on the capacity tier.
+
+Paper shapes asserted:
+* More background threads let compaction consume more of the capacity
+  tier's bandwidth (Fig. 3a — RocksDB reaches 91.3% at 8 threads).
+* Most compaction I/O volume is attributable to the deeper levels
+  (Fig. 3b — 38% at L4 in a five-level RocksDB).
+"""
+
+from repro.bench.context import BenchScale
+from repro.bench.experiments import fig3_compaction_overhead
+
+
+def test_fig3_compaction_overhead(benchmark):
+    scale = BenchScale.default(record_count=10_000, operations=10_000, nvme_ratio=0.3)
+    result = benchmark.pedantic(
+        lambda: fig3_compaction_overhead(scale, threads=(1, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    raw = result["raw"]
+
+    # 3a: compaction bandwidth grows with background threads.
+    assert raw["bandwidth"][("rocksdb", 8)] > raw["bandwidth"][("rocksdb", 1)]
+
+    # RocksDB's compaction pressure on the capacity tier is heavy, and far
+    # above PrismDB's (the paper's Fig. 3a ordering).
+    rows = {(r[0], r[1]): r[3] for r in result["rows"]}
+    assert rows[("rocksdb", 8)] > 10.0  # a large share of device bandwidth
+    assert rows[("rocksdb", 8)] > 1.2 * rows[("prismdb", 8)]
+
+    # 3b: deep levels dominate the compaction volume.
+    levels = raw["levels"]["rocksdb"]
+    assert levels, "rocksdb must report per-level compaction I/O"
+    deepest_half = {l: v for l, v in levels.items() if l >= max(levels) - 1}
+    assert sum(deepest_half.values()) > 0.5 * sum(levels.values())

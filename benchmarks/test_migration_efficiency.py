@@ -1,0 +1,56 @@
+"""§4.2's migration-efficiency claim: "HyperDB collects and flushes a batch
+of objects with a zone per migration task, which reduces page reads by 72%
+compared to PrismDB."
+
+Zone demotion reads the zone's own (densely packed) pages; PrismDB's slab
+demotion must gather a key range whose objects are scattered wherever the
+slab allocator put them.  We measure NVMe pages read per demoted object
+under the same write-heavy workload.
+"""
+
+from repro.bench.context import BenchScale, build_store
+from repro.simssd.traffic import TrafficKind
+from repro.ycsb import WorkloadRunner, YCSB_WORKLOADS
+
+
+def _pages_per_object(store_name: str, scale: BenchScale) -> float:
+    store = build_store(store_name, scale)
+    runner = WorkloadRunner(
+        store,
+        record_count=scale.record_count,
+        value_size=scale.value_size,
+        seed=scale.seed,
+    )
+    runner.load()
+    nvme = store.devices()["nvme"]
+    reads_before = nvme.traffic.read_ios(TrafficKind.MIGRATION)
+    if store_name == "hyperdb":
+        objs_before = store.migration.stats.demoted_objects
+    else:
+        objs_before = store.demoted_objects
+    spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
+    runner.run(spec, scale.operations)
+    reads = nvme.traffic.read_ios(TrafficKind.MIGRATION) - reads_before
+    if store_name == "hyperdb":
+        objs = store.migration.stats.demoted_objects - objs_before
+    else:
+        objs = store.demoted_objects - objs_before
+    assert objs > 0, f"{store_name} never migrated"
+    return reads / objs
+
+
+def test_zone_demotion_reads_fewer_pages(benchmark):
+    # A constrained NVMe keeps migration running for both engines.
+    scale = BenchScale.default(
+        record_count=8000, operations=8000, value_size=128, nvme_ratio=0.3
+    )
+    result = benchmark.pedantic(
+        lambda: {
+            "hyperdb": _pages_per_object("hyperdb", scale),
+            "prismdb": _pages_per_object("prismdb", scale),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # The paper reports a 72% reduction; we require a clear win.
+    assert result["hyperdb"] < 0.6 * result["prismdb"], result

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario: auditing background write traffic (flash-lifetime budgeting).
+
+Data-center operators provision SSDs by drive-writes-per-day; background
+compaction and migration can multiply the logical write volume several
+times over.  This script runs the same update-heavy workload against all
+four engines and breaks the device write traffic down by cause — a
+miniature of the paper's Fig. 11.
+
+Run:
+    python examples/background_traffic_audit.py
+"""
+
+from repro.bench.context import BenchScale, build_store
+from repro.ycsb import WorkloadRunner, YCSB_WORKLOADS
+
+MiB = 1 << 20
+
+
+def main() -> None:
+    scale = BenchScale.default(
+        record_count=6000, operations=8000, value_size=1024, nvme_ratio=0.8
+    )
+    spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
+    logical = scale.operations // 2 * (scale.value_size + 8)  # updates only
+
+    print(f"workload: {scale.operations} ops of uniform YCSB-A, "
+          f"{scale.value_size} B values "
+          f"(~{logical / MiB:.1f} MiB of logical updates)\n")
+    header = f"{'engine':12s} {'tier':5s} " + "".join(
+        f"{lane:>12s}" for lane in ("foreground", "wal", "flush", "compaction",
+                                    "migration", "gc")
+    ) + f"{'total':>10s} {'write amp':>10s}"
+    print(header)
+    print("-" * len(header))
+
+    for name in ("rocksdb", "rocksdb-sc", "prismdb", "hyperdb"):
+        store = build_store(name, scale)
+        runner = WorkloadRunner(
+            store,
+            record_count=scale.record_count,
+            value_size=scale.value_size,
+            seed=scale.seed,
+        )
+        runner.load()
+        result = runner.run(spec, scale.operations)
+        grand_total = 0.0
+        for tier in ("nvme", "sata"):
+            lanes = result.traffic[tier]
+            cells = ""
+            tier_total = 0.0
+            for lane in ("foreground", "wal", "flush", "compaction", "migration", "gc"):
+                wb = lanes[lane]["write_bytes"]
+                tier_total += wb
+                cells += f"{wb / MiB:12.1f}"
+            grand_total += tier_total
+            print(f"{name if tier == 'nvme' else '':12s} {tier:5s} {cells}"
+                  f"{tier_total / MiB:10.1f}")
+        print(f"{'':12s} {'all':5s} {'':72s}{grand_total / MiB:10.1f} "
+              f"{grand_total / logical:9.1f}x")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Anatomy of a semi-SSTable: watch block-granularity merges happen.
+
+The semi-sorted table is the paper's key capacity-tier idea: records stay
+sorted *within* blocks, blocks may be appended after the file is persisted,
+and a merge only rewrites the blocks it touches.  This script narrates a
+table's life: bulk build -> targeted update (one block rewritten) ->
+widespread update (dirty ratio climbs) -> full compaction (space reclaimed).
+
+Run:
+    python examples/semisstable_anatomy.py
+"""
+
+from repro.common.keys import KeyRange, encode_key
+from repro.common.records import Record
+from repro.lsm.semi import SemiSSTable
+from repro.simssd import SATA_PROFILE, SimDevice, SimFilesystem
+from repro.simssd.traffic import TrafficKind
+
+KiB = 1024
+
+
+def snapshot(table: SemiSSTable, label: str, device: SimDevice) -> None:
+    alive = sum(1 for b in table.blocks if not b.is_dead)
+    dead = sum(1 for b in table.blocks if b.is_dead)
+    print(
+        f"{label:32s} blocks: {alive:3d} live / {dead:3d} dead   "
+        f"file: {table.file_bytes / KiB:6.1f} KiB   "
+        f"live payload: {table.valid_bytes / KiB:6.1f} KiB   "
+        f"dirty ratio: {table.dirty_ratio:5.2f}"
+    )
+
+
+def recs(ids, tag: bytes, seqno_base: int):
+    return [
+        Record(encode_key(i), tag * 32, seqno_base + n)
+        for n, i in enumerate(sorted(ids))
+    ]
+
+
+def main() -> None:
+    device = SimDevice(SATA_PROFILE.with_capacity(32 * 1024 * KiB))
+    fs = SimFilesystem(device)
+    table = SemiSSTable(
+        table_id=1,
+        fs=fs,
+        declared_range=KeyRange(encode_key(0), encode_key(10_000)),
+        block_size=1024,
+    )
+
+    print("1. bulk build: 1000 records arrive sorted\n")
+    table.merge_append(recs(range(1000), b"a", 1))
+    snapshot(table, "after initial build", device)
+
+    print("\n2. a point update touches exactly one block:\n")
+    before = device.traffic.write_bytes(TrafficKind.COMPACTION)
+    table.merge_append(recs([500], b"b", 10_000))
+    written = device.traffic.write_bytes(TrafficKind.COMPACTION) - before
+    snapshot(table, "after updating key 500", device)
+    print(f"   -> merge wrote only {written / KiB:.1f} KiB "
+          f"(the table holds {table.file_bytes / KiB:.0f} KiB)")
+
+    print("\n3. scattered updates accumulate dead blocks:\n")
+    for round_no in range(4):
+        table.merge_append(
+            recs(range(0, 1000, 7), bytes([round_no + 65]), 20_000 + round_no * 1000)
+        )
+        snapshot(table, f"after scattered round {round_no + 1}", device)
+
+    print("\n4. full compaction reclaims the dead space:\n")
+    freed_before = device.used_bytes
+    table.full_compact()
+    snapshot(table, "after full compaction", device)
+    print(f"   -> device space freed: {(freed_before - device.used_bytes) / KiB:.1f} KiB")
+
+    # Everything is still readable and newest-wins held throughout.
+    rec, _ = table.get(encode_key(500))
+    assert rec is not None
+    print(f"\nkey 500 now reads back as {rec.value[:4]!r}... (seqno {rec.seqno})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""HyperDB reproduction (Zhou et al., ICPP 2024).
+
+A tiered key-value store over simulated heterogeneous SSD storage, with the
+paper's baselines, workloads, and benchmark harness.  Public entry points:
+
+>>> from repro import HyperDB, HyperDBConfig, KeyRange, encode_key
+>>> from repro import NVME_PROFILE, SATA_PROFILE, SimDevice
+>>> nvme = SimDevice(NVME_PROFILE.with_capacity(4 << 20))
+>>> sata = SimDevice(SATA_PROFILE.with_capacity(64 << 20))
+>>> db = HyperDB(nvme, sata, HyperDBConfig(
+...     key_space=KeyRange(encode_key(0), encode_key(100_000))))
+>>> db.put(encode_key(1), b"hello")  # doctest: +ELLIPSIS
+...
+>>> db.get(encode_key(1))[0]
+b'hello'
+
+Sub-packages: :mod:`repro.core` (HyperDB), :mod:`repro.baselines`
+(RocksDB-like, RocksDB-SC, PrismDB-like), :mod:`repro.ycsb` (workloads),
+:mod:`repro.bench` (figure harness), and the substrates
+:mod:`repro.simssd`, :mod:`repro.lsm`, :mod:`repro.nvme`,
+:mod:`repro.hotness`, :mod:`repro.migration`.
+"""
+
+from repro.common.keys import KeyRange, decode_key, encode_key
+from repro.core import HyperDB, HyperDBConfig, KVStore
+from repro.simssd import NVME_PROFILE, SATA_PROFILE, DeviceProfile, SimDevice
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HyperDB",
+    "HyperDBConfig",
+    "KVStore",
+    "KeyRange",
+    "encode_key",
+    "decode_key",
+    "NVME_PROFILE",
+    "SATA_PROFILE",
+    "DeviceProfile",
+    "SimDevice",
+    "__version__",
+]

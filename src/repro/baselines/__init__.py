@@ -1,0 +1,19 @@
+"""Baseline key-value stores the paper compares against (§4.1).
+
+* :class:`RocksDBStore` — the *embedding* architecture: one leveled LSM-tree
+  whose top levels live on NVMe via ``db_paths`` and deeper levels on SATA.
+* :class:`RocksDBSecondaryCacheStore` — the same LSM entirely on SATA, with
+  NVMe used as a block-granularity secondary read cache.
+* :class:`PrismDBStore` — the *caching* architecture: a slab-layout NVMe
+  object store with clock-based hotness and cost-benefit demotion into a
+  SATA LSM-tree.
+
+All three run over the same simulated devices as HyperDB so comparisons
+isolate the architectural differences the paper studies.
+"""
+
+from repro.baselines.rocksdb import RocksDBStore
+from repro.baselines.rocksdb_sc import RocksDBSecondaryCacheStore
+from repro.baselines.prismdb import PrismDBStore
+
+__all__ = ["RocksDBStore", "RocksDBSecondaryCacheStore", "PrismDBStore"]

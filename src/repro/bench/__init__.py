@@ -1,0 +1,18 @@
+"""Benchmark harness: regenerates every table and figure in the paper's
+evaluation (§4) at a configurable scale.
+
+* :mod:`repro.bench.context` — scaled device/store construction.
+* :mod:`repro.bench.experiments` — one function per paper figure.
+* :mod:`repro.bench.reporting` — text tables matching the paper's rows.
+
+Run everything from the command line::
+
+    python -m repro.bench            # all figures, default scale
+    python -m repro.bench fig8 fig11 # a subset
+    REPRO_SCALE=4 python -m repro.bench  # 4x larger datasets
+"""
+
+from repro.bench.context import BenchScale, build_store, STORE_NAMES
+from repro.bench.reporting import format_table
+
+__all__ = ["BenchScale", "build_store", "STORE_NAMES", "format_table"]

@@ -1,0 +1,39 @@
+"""Command-line entry point: regenerate the paper's figures as text tables.
+
+Usage::
+
+    python -m repro.bench                 # every figure
+    python -m repro.bench fig8 fig11      # a subset
+    REPRO_SCALE=4 python -m repro.bench   # larger datasets
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.reporting import format_table
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        print(format_table(result["title"], result["headers"], result["rows"]))
+        if "rows_b" in result:
+            print()
+            print(
+                format_table(result["title_b"], result["headers_b"], result["rows_b"])
+            )
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,174 @@
+"""Scaled experiment construction.
+
+The paper's testbed loads 100 GB into a 960 GB NVMe + 960 GB SATA pair and
+issues 100 M requests.  Benchmarks here default to a ~1/4000 scale (25 k
+records, 25 k requests) so the full figure suite runs in minutes of wall
+clock; every dimension that matters — fill fractions, watermark pressure,
+level counts — is scaled together, and ``REPRO_SCALE`` grows everything
+proportionally toward paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.baselines import (
+    PrismDBStore,
+    RocksDBSecondaryCacheStore,
+    RocksDBStore,
+)
+from repro.common.keys import KeyRange, encode_key
+from repro.core import HyperDB, HyperDBConfig
+from repro.core.interface import KVStore
+from repro.lsm.lsmtree import LSMOptions
+from repro.nvme.config import NVMeConfig
+from repro.simssd import NVME_PROFILE, SATA_PROFILE, SimDevice
+
+KiB = 1024
+MiB = 1024 * KiB
+
+STORE_NAMES = ("hyperdb", "rocksdb", "rocksdb-sc", "prismdb")
+
+
+def env_scale() -> float:
+    """The ``REPRO_SCALE`` multiplier (default 1)."""
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+@dataclass
+class BenchScale:
+    """All scale-dependent experiment parameters."""
+
+    record_count: int = 25_000
+    operations: int = 25_000
+    value_size: int = 128
+    #: NVMe capacity as a fraction of the loaded dataset.  The paper's
+    #: testbed is NVMe-rich (960 GB NVMe vs a 100 GB load); 0.6 keeps the
+    #: same regime — migration happens, but the fast tier holds the hot
+    #: working set — while Fig. 9c sweeps the constrained end (1%–16%).
+    nvme_ratio: float = 1.2
+    #: SATA capacity as a multiple of the dataset.
+    sata_multiple: float = 12.0
+    clients: int = 8
+    background_threads: int = 8
+    seed: int = 7
+
+    @classmethod
+    def default(cls, **overrides) -> "BenchScale":
+        s = cls(**overrides)
+        mult = env_scale()
+        if mult != 1.0:
+            s.record_count = int(s.record_count * mult)
+            s.operations = int(s.operations * mult)
+        return s
+
+    @property
+    def record_size(self) -> int:
+        from repro.common.records import RECORD_HEADER_SIZE
+
+        return RECORD_HEADER_SIZE + 8 + self.value_size  # header + key + value
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.record_count * self.record_size
+
+    @property
+    def nvme_bytes(self) -> int:
+        return max(512 * KiB, int(self.dataset_bytes * self.nvme_ratio))
+
+    @property
+    def sata_bytes(self) -> int:
+        return max(8 * MiB, int(self.dataset_bytes * self.sata_multiple))
+
+    @property
+    def key_space(self) -> KeyRange:
+        # Headroom for YCSB-D/E inserts (5% of ops), kept tight so key-space
+        # segmentation matches the live key density.
+        return KeyRange(
+            encode_key(0), encode_key(self.record_count * 3 // 2 + 1024)
+        )
+
+    def devices(self) -> tuple[SimDevice, SimDevice]:
+        nvme = SimDevice(NVME_PROFILE.with_capacity(self.nvme_bytes))
+        sata = SimDevice(SATA_PROFILE.with_capacity(self.sata_bytes))
+        return nvme, sata
+
+
+def hyperdb_config(scale: BenchScale, **overrides) -> HyperDBConfig:
+    """A HyperDBConfig with every structural parameter scaled to the dataset."""
+    d = scale.dataset_bytes
+    cfg = dict(
+        key_space=scale.key_space,
+        nvme=NVMeConfig(
+            num_partitions=4,
+            initial_zones_per_partition=2,
+            # §3.6: the zone size matches the semi-SSTable file size, which
+            # is one L1 segment (L1 target / 8 segments = D/32).
+            migration_batch_bytes=max(16 * KiB, d // 32),
+        ),
+        semi_num_levels=3,
+        semi_size_ratio=8,
+        semi_bottom_segments=512,
+        # The capacity tier sizes its first level knowing NVMe plays L0
+        # (mirrors the PrismDB configuration for a fair comparison).
+        semi_level1_target_bytes=max(256 * KiB, d // 4),
+        dram_cache_bytes=max(64 * KiB, d // 16),
+    )
+    cfg.update(overrides)
+    return HyperDBConfig(**cfg)
+
+
+def lsm_options(scale: BenchScale, **overrides) -> LSMOptions:
+    """Baseline LSM options scaled to the dataset (see the geometry note)."""
+    d = scale.dataset_bytes
+    # Geometry mirrors the paper's RocksDB proportions: the bottom level
+    # holds the bulk of the data and lives on SATA, so deep compactions
+    # dominate the capacity tier's bandwidth (Fig. 3b).
+    opts = dict(
+        memtable_bytes=max(32 * KiB, d // 64),
+        table_size_bytes=max(32 * KiB, d // 64),
+        block_size=4 * KiB,
+        level0_trigger=4,
+        level_base_bytes=max(64 * KiB, d // 64),
+        level_multiplier=10,
+        num_levels=5,
+    )
+    opts.update(overrides)
+    return LSMOptions(**opts)
+
+
+def build_store(name: str, scale: BenchScale, **kw) -> KVStore:
+    """Construct one of the four engines over freshly scaled devices."""
+    nvme, sata = scale.devices()
+    dram = max(64 * KiB, scale.dataset_bytes // 16)
+    if name == "hyperdb":
+        return HyperDB(nvme, sata, hyperdb_config(scale, **kw))
+    if name == "rocksdb":
+        return RocksDBStore(nvme, sata, lsm_options(scale), dram_cache_bytes=dram)
+    if name == "rocksdb-sc":
+        return RocksDBSecondaryCacheStore(
+            nvme, sata, lsm_options(scale), dram_cache_bytes=dram
+        )
+    if name == "prismdb":
+        # PrismDB's NVMe tier replaces the top of the tree, so its SATA LSM
+        # keeps fewer, larger levels (§2.3: "PrismDB reduces the number of
+        # levels stored in the capacity tier").
+        return PrismDBStore(
+            nvme,
+            sata,
+            nvme_config=NVMeConfig(
+                num_partitions=4,
+                # Larger demotion batches amortize the SSTable merges each
+                # batch overlaps.
+                migration_batch_bytes=max(64 * KiB, scale.dataset_bytes // 32),
+            ),
+            lsm_options=lsm_options(
+                scale,
+                wal_enabled=False,
+                level_base_bytes=max(512 * KiB, scale.dataset_bytes // 4),
+                num_levels=4,
+            ),
+            dram_cache_bytes=dram,
+        )
+    raise ValueError(f"unknown store {name!r}; expected one of {STORE_NAMES}")

@@ -1,0 +1,438 @@
+"""One experiment per paper figure.
+
+Each function builds fresh stores at the requested scale, drives the same
+workloads the paper uses, and returns a dict with ``title``, ``headers``,
+``rows`` (for text rendering) plus the raw series the pytest benches assert
+against.  Absolute numbers differ from the paper (simulator, scaled data);
+the *shapes* — who wins, by what factor, where crossovers sit — are the
+reproduction target recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.context import BenchScale, build_store
+from repro.bench.reporting import kops, mb
+from repro.hotness.interval import (
+    interval_conditional_probabilities,
+    probability_summary,
+)
+from repro.ycsb import WorkloadRunner, WorkloadSpec, YCSB_WORKLOADS
+
+
+def _loaded_runner(store_name: str, scale: BenchScale, **runner_kw) -> WorkloadRunner:
+    store = build_store(store_name, scale)
+    runner = WorkloadRunner(
+        store,
+        record_count=scale.record_count,
+        value_size=scale.value_size,
+        clients=runner_kw.pop("clients", scale.clients),
+        background_threads=runner_kw.pop("background_threads", scale.background_threads),
+        seed=scale.seed,
+        **runner_kw,
+    )
+    runner.load()
+    return runner
+
+
+WRITE_ONLY = WorkloadSpec("write-only", update=1.0, distribution="uniform")
+
+
+# --------------------------------------------------------------------- Fig 2
+
+def fig2_utilization(scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8)):
+    """Fig. 2: NVMe bandwidth (read vs write) and per-tier capacity
+    utilization for RocksDB and PrismDB under a write-only uniform load.
+
+    Uses a constrained NVMe ratio: the paper's §2.3 motivation study runs
+    with the caching architecture pinned at its high watermark, where every
+    write forces migration."""
+    scale = scale or BenchScale.default(nvme_ratio=0.3)
+    rows = []
+    raw = {}
+    for store_name in ("rocksdb", "prismdb"):
+        for t in threads:
+            runner = _loaded_runner(store_name, scale, background_threads=t)
+            result = runner.run(WRITE_ONLY, scale.operations)
+            nvme_read = result.read_bytes("nvme") / result.elapsed_s
+            nvme_write = result.write_bytes("nvme") / result.elapsed_s
+            nvme_cap = result.space_used["nvme"] / runner.store.devices()["nvme"].capacity_bytes
+            sata_cap = result.space_used["sata"] / runner.store.devices()["sata"].capacity_bytes
+            rows.append(
+                (store_name, t, mb(nvme_read), mb(nvme_write),
+                 nvme_cap * 100, sata_cap * 100)
+            )
+            raw[(store_name, t)] = {
+                "nvme_read_Bps": nvme_read,
+                "nvme_write_Bps": nvme_write,
+                "nvme_capacity_util": nvme_cap,
+                "sata_capacity_util": sata_cap,
+            }
+    return {
+        "title": "Fig 2: bandwidth (MiB/s) and capacity utilization (%), write-only",
+        "headers": ["store", "bg threads", "nvme rd MiB/s", "nvme wr MiB/s",
+                    "nvme cap %", "sata cap %"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+# --------------------------------------------------------------------- Fig 3
+
+def fig3_compaction_overhead(scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8)):
+    """Fig. 3: capacity-tier bandwidth consumed by compaction vs thread
+    count (a) and the per-level compaction I/O breakdown (b).
+
+    Constrained NVMe ratio, like Fig. 2 (the same §2.3 motivation setup)."""
+    scale = scale or BenchScale.default(nvme_ratio=0.3)
+    rows_a = []
+    raw = {"bandwidth": {}, "levels": {}}
+    for store_name in ("rocksdb", "prismdb"):
+        for t in threads:
+            runner = _loaded_runner(store_name, scale, background_threads=t)
+            result = runner.run(WRITE_ONLY, scale.operations)
+            comp_bytes = result.read_bytes("sata", "compaction") + result.write_bytes(
+                "sata", "compaction"
+            )
+            bw = comp_bytes / result.elapsed_s
+            sata_dev = runner.store.devices()["sata"]
+            frac = bw / (sata_dev.profile.write_bandwidth + sata_dev.profile.read_bandwidth)
+            rows_a.append((store_name, t, mb(bw), frac * 100))
+            raw["bandwidth"][(store_name, t)] = bw
+            if t == threads[-1]:
+                tree = getattr(runner.store, "tree", None)
+                if tree is not None:
+                    per_level = dict(tree.compactor.stats.write_bytes_by_level)
+                    per_level_rd = dict(tree.compactor.stats.read_bytes_by_level)
+                    raw["levels"][store_name] = {
+                        lvl: per_level.get(lvl, 0) + per_level_rd.get(lvl, 0)
+                        for lvl in set(per_level) | set(per_level_rd)
+                    }
+    rows_b = []
+    for store_name, levels in raw["levels"].items():
+        total = sum(levels.values()) or 1
+        for lvl in sorted(levels):
+            rows_b.append((store_name, f"L{lvl}", mb(levels[lvl]), levels[lvl] / total * 100))
+    return {
+        "title": "Fig 3a: compaction bandwidth on the capacity tier",
+        "headers": ["store", "bg threads", "compaction MiB/s", "% of device bw"],
+        "rows": rows_a,
+        "title_b": "Fig 3b: compaction I/O volume by output level",
+        "headers_b": ["store", "level", "I/O MiB", "% of total"],
+        "rows_b": rows_b,
+        "raw": raw,
+    }
+
+
+# -------------------------------------------------------------------- Fig 6a
+
+def fig6a_interval_correlation(
+    n_keys: int = 2000, accesses: int = 100_000, seed: int = 3
+):
+    """Fig. 6a: P(next interval < t | s past intervals < t) on an 80/20
+    trace, for t in {5%, 10%, 20%} of the workload and s in {1, 3, 5}."""
+    rng = np.random.default_rng(seed)
+    hot = n_keys // 5
+    choose_hot = rng.random(accesses) < 0.8
+    hot_keys = rng.integers(0, hot, size=accesses)
+    cold_keys = rng.integers(hot, n_keys, size=accesses)
+    trace = np.where(choose_hot, hot_keys, cold_keys).tolist()
+    rows = []
+    raw = {}
+    for t_frac in (0.05, 0.10, 0.20):
+        t = int(t_frac * accesses)
+        for s in (1, 3, 5):
+            summary = probability_summary(
+                interval_conditional_probabilities(trace, threshold=t, history=s)
+            )
+            rows.append(
+                (f"{t_frac:.0%}", s, summary["median"], summary["p25"],
+                 summary["p75"], int(summary["objects"]))
+            )
+            raw[(t_frac, s)] = summary
+    return {
+        "title": "Fig 6a: interval conditional probability, 80/20 trace",
+        "headers": ["t (of workload)", "s", "median", "p25", "p75", "objects"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+# --------------------------------------------------------------------- Fig 8
+
+def fig8_ycsb(
+    scale: Optional[BenchScale] = None,
+    stores=("rocksdb", "rocksdb-sc", "prismdb", "hyperdb"),
+    workloads=("A", "B", "C", "D", "E", "F"),
+):
+    """Fig. 8: YCSB A–F throughput, median latency, and P99 latency for all
+    four engines (zipfian 0.99, 8B keys / 128B values)."""
+    scale = scale or BenchScale.default()
+    rows = []
+    raw = {}
+    for wl_name in workloads:
+        spec = YCSB_WORKLOADS[wl_name]
+        ops = scale.operations if spec.scan == 0 else max(500, scale.operations // 20)
+        for store_name in stores:
+            runner = _loaded_runner(store_name, scale)
+            result = runner.run(spec, ops)
+            rows.append(
+                (
+                    wl_name,
+                    store_name,
+                    kops(result.throughput_ops),
+                    result.median_latency() * 1e6,
+                    result.p99_latency() * 1e6,
+                )
+            )
+            raw[(wl_name, store_name)] = result
+    return {
+        "title": "Fig 8: YCSB throughput (kops/s), median and P99 latency (us)",
+        "headers": ["workload", "store", "kops/s", "median us", "p99 us"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+# --------------------------------------------------------------------- Fig 9
+
+def fig9a_skew_sweep(
+    scale: Optional[BenchScale] = None,
+    stores=("rocksdb", "prismdb", "hyperdb"),
+    thetas=("uniform", 0.6, 0.8, 0.99, 1.2),
+):
+    """Fig. 9a: YCSB-A throughput across request-skew settings."""
+    scale = scale or BenchScale.default()
+    rows = []
+    raw = {}
+    for theta in thetas:
+        if theta == "uniform":
+            spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
+        else:
+            spec = YCSB_WORKLOADS["A"].with_distribution("zipfian", theta=theta)
+        for store_name in stores:
+            runner = _loaded_runner(store_name, scale)
+            result = runner.run(spec, scale.operations)
+            rows.append((str(theta), store_name, kops(result.throughput_ops)))
+            raw[(theta, store_name)] = result
+    return {
+        "title": "Fig 9a: YCSB-A throughput (kops/s) vs skew",
+        "headers": ["skew", "store", "kops/s"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+def fig9b_value_size_sweep(
+    scale: Optional[BenchScale] = None,
+    stores=("rocksdb", "prismdb", "hyperdb"),
+    value_sizes=(16, 64, 128, 512, 1024, 4096),
+):
+    """Fig. 9b: YCSB-A throughput across value sizes.  The dataset byte
+    volume is held fixed (the paper holds the loaded volume constant), so
+    record counts shrink as values grow."""
+    base = scale or BenchScale.default()
+    rows = []
+    raw = {}
+    for vs in value_sizes:
+        point = BenchScale.default(
+            value_size=vs,
+            record_count=max(2000, base.dataset_bytes // (14 + 8 + vs)),
+            operations=base.operations,
+            nvme_ratio=base.nvme_ratio,
+        )
+        for store_name in stores:
+            runner = _loaded_runner(store_name, point)
+            result = runner.run(YCSB_WORKLOADS["A"], point.operations)
+            rows.append((vs, store_name, kops(result.throughput_ops)))
+            raw[(vs, store_name)] = result
+    return {
+        "title": "Fig 9b: YCSB-A throughput (kops/s) vs value size",
+        "headers": ["value B", "store", "kops/s"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+def fig9c_nvme_ratio_sweep(
+    scale: Optional[BenchScale] = None,
+    stores=("rocksdb", "prismdb", "hyperdb"),
+    ratios=(0.05, 0.1, 0.2, 0.4, 0.8),
+):
+    """Fig. 9c: YCSB-A throughput vs NVMe:dataset capacity ratio.
+
+    The paper sweeps 1%–16% of a 100 GB load (1–16 GB of NVMe).  At our
+    scaled dataset those percentages land below one device's minimum useful
+    size (a few dozen pages), so the sweep covers 5%–80% instead; the
+    shapes compared are the same — caching designs improve with the ratio,
+    the embedding design barely moves.
+    """
+    # A larger dataset keeps even the smallest ratio above the device's
+    # minimum useful size.
+    base = scale or BenchScale.default(record_count=80_000)
+    rows = []
+    raw = {}
+    for ratio in ratios:
+        point = BenchScale.default(
+            record_count=base.record_count,
+            operations=base.operations,
+            value_size=base.value_size,
+            nvme_ratio=ratio,
+        )
+        for store_name in stores:
+            runner = _loaded_runner(store_name, point)
+            result = runner.run(YCSB_WORKLOADS["A"], point.operations)
+            rows.append((f"{ratio:.0%}", store_name, kops(result.throughput_ops)))
+            raw[(ratio, store_name)] = result
+    return {
+        "title": "Fig 9c: YCSB-A throughput (kops/s) vs NVMe capacity ratio",
+        "headers": ["nvme ratio", "store", "kops/s"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+# -------------------------------------------------------------------- Fig 10
+
+def fig10_latency_breakdown(
+    scale: Optional[BenchScale] = None,
+    stores=("rocksdb", "hyperdb"),
+    thetas=("uniform", 0.8, 0.99),
+):
+    """Fig. 10: read/write median and P99 latency across skew settings."""
+    scale = scale or BenchScale.default()
+    rows = []
+    raw = {}
+    for theta in thetas:
+        if theta == "uniform":
+            spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
+        else:
+            spec = YCSB_WORKLOADS["A"].with_distribution("zipfian", theta=theta)
+        for store_name in stores:
+            runner = _loaded_runner(store_name, scale)
+            result = runner.run(spec, scale.operations)
+            rows.append(
+                (
+                    str(theta),
+                    store_name,
+                    result.median_latency("read") * 1e6,
+                    result.p99_latency("read") * 1e6,
+                    result.median_latency("update") * 1e6,
+                    result.p99_latency("update") * 1e6,
+                )
+            )
+            raw[(theta, store_name)] = result
+    return {
+        "title": "Fig 10: read/write latency (us) vs skew",
+        "headers": ["skew", "store", "rd med", "rd p99", "wr med", "wr p99"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+# -------------------------------------------------------------------- Fig 11
+
+def fig11_background_traffic(
+    scale: Optional[BenchScale] = None,
+    stores=("rocksdb", "rocksdb-sc", "prismdb", "hyperdb"),
+):
+    """Fig. 11: total write I/O per tier and space usage, uniform YCSB-A
+    with 1 KB values (the paper's background-traffic headline: HyperDB
+    writes ~60% less than RocksDB)."""
+    # NVMe-rich like the paper's testbed (960 GB NVMe vs ~100 GB load):
+    # RocksDB cannot exploit the headroom because levels are placed whole
+    # (§2.3), while HyperDB absorbs updates in place.
+    scale = scale or BenchScale.default(
+        value_size=1024, record_count=6000, nvme_ratio=0.8
+    )
+    spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
+    rows = []
+    raw = {}
+    for store_name in stores:
+        runner = _loaded_runner(store_name, scale)
+        result = runner.run(spec, scale.operations)
+        nvme_w = result.write_bytes("nvme")
+        sata_w = result.write_bytes("sata")
+        rows.append(
+            (
+                store_name,
+                mb(nvme_w),
+                mb(sata_w),
+                mb(nvme_w + sata_w),
+                mb(result.space_used["nvme"]),
+                mb(result.space_used["sata"]),
+            )
+        )
+        raw[store_name] = result
+    return {
+        "title": "Fig 11: write I/O (MiB) and space usage (MiB), uniform 1KB",
+        "headers": ["store", "nvme wr", "sata wr", "total wr", "nvme space", "sata space"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+# ----------------------------------------------------------------- Ablations
+
+def ablations(scale: Optional[BenchScale] = None):
+    """Design-choice ablations (§3): hot zone, preemptive compaction depth,
+    T_clean, and power-of-k victim sampling, measured on skewed YCSB-A with
+    a constrained NVMe tier (the knobs only engage under migration and
+    compaction pressure)."""
+    scale = scale or BenchScale.default(nvme_ratio=0.4)
+    variants = {
+        "hyperdb": {},
+        "no-hot-zone": {"enable_hot_zone": False},
+        "no-preemptive": {"enable_preemptive_compaction": False},
+        "t_clean=0.2": {"t_clean": 0.2},
+        "t_clean=0.9": {"t_clean": 0.9},
+        "candidate_k=1": {"candidate_k": 1},
+    }
+    rows = []
+    raw = {}
+    for label, overrides in variants.items():
+        store = build_store("hyperdb", scale, **overrides)
+        runner = WorkloadRunner(
+            store,
+            record_count=scale.record_count,
+            value_size=scale.value_size,
+            clients=scale.clients,
+            background_threads=scale.background_threads,
+            seed=scale.seed,
+        )
+        runner.load()
+        result = runner.run(YCSB_WORKLOADS["A"], scale.operations)
+        total_w = result.write_bytes("nvme") + result.write_bytes("sata")
+        rows.append(
+            (
+                label,
+                kops(result.throughput_ops),
+                result.p99_latency() * 1e6,
+                mb(total_w),
+                store.capacity_tier.space_amplification(),
+            )
+        )
+        raw[label] = result
+    return {
+        "title": "Ablations: YCSB-A, zipfian 0.99",
+        "headers": ["variant", "kops/s", "p99 us", "write MiB", "sata space amp"],
+        "rows": rows,
+        "raw": raw,
+    }
+
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_utilization,
+    "fig3": fig3_compaction_overhead,
+    "fig6a": fig6a_interval_correlation,
+    "fig8": fig8_ycsb,
+    "fig9a": fig9a_skew_sweep,
+    "fig9b": fig9b_value_size_sweep,
+    "fig9c": fig9c_nvme_ratio_sweep,
+    "fig10": fig10_latency_breakdown,
+    "fig11": fig11_background_traffic,
+    "ablations": ablations,
+}

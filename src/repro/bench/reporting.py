@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render an aligned text table with a title banner."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [f"== {title} =="]
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def mb(nbytes: float) -> float:
+    """Bytes → MiB."""
+    return nbytes / (1024 * 1024)
+
+
+def kops(ops_per_s: float) -> float:
+    """ops/s → kops/s."""
+    return ops_per_s / 1000.0

@@ -1,0 +1,55 @@
+"""Shared primitives used across every HyperDB subsystem.
+
+This package contains the building blocks that the storage engines are
+assembled from: key encoding, record formats, probabilistic filters, ordered
+in-memory containers, caches, and measurement utilities.  Nothing in here
+knows about tiers, devices, or LSM-trees.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    KeyNotFoundError,
+    CapacityError,
+    CorruptionError,
+    ClosedError,
+    ConfigError,
+)
+from repro.common.records import Record, ValuePointer
+from repro.common.keys import (
+    encode_key,
+    decode_key,
+    key_in_range,
+    ranges_overlap,
+    KeyRange,
+)
+from repro.common.bloom import BloomFilter
+from repro.common.skiplist import SkipList
+from repro.common.btree import BTreeIndex
+from repro.common.cache import LRUCache, ObjectCache
+from repro.common.stats import Counter, LatencyHistogram, StatsRegistry
+from repro.common.rng import make_rng
+
+__all__ = [
+    "ReproError",
+    "KeyNotFoundError",
+    "CapacityError",
+    "CorruptionError",
+    "ClosedError",
+    "ConfigError",
+    "Record",
+    "ValuePointer",
+    "encode_key",
+    "decode_key",
+    "key_in_range",
+    "ranges_overlap",
+    "KeyRange",
+    "BloomFilter",
+    "SkipList",
+    "BTreeIndex",
+    "LRUCache",
+    "ObjectCache",
+    "Counter",
+    "LatencyHistogram",
+    "StatsRegistry",
+    "make_rng",
+]

@@ -1,0 +1,94 @@
+"""Standard bloom filter over a numpy bit array.
+
+Used in two places:
+
+* SSTable / semi-SSTable metadata blocks, for fast point-lookup screening.
+* The cascading discriminator (§3.3), where each sealed filter represents an
+  access window and membership means "accessed within that window".
+
+Hash positions are derived with double hashing (Kirsch–Mitzenmacher), which
+gives ``k`` independent-enough probes from two base hashes of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+
+def _base_hashes(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:], "little")
+
+
+class BloomFilter:
+    """A fixed-capacity bloom filter.
+
+    Parameters
+    ----------
+    capacity:
+        Number of insertions the filter is sized for.
+    bits_per_key:
+        Bits allocated per expected key.  The paper uses 10 bits/key for a
+        <1% false-positive rate.
+    """
+
+    __slots__ = ("capacity", "bits_per_key", "num_bits", "num_hashes", "_bits", "_count")
+
+    def __init__(self, capacity: int, bits_per_key: int = 10) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if bits_per_key <= 0:
+            raise ValueError(f"bits_per_key must be positive, got {bits_per_key}")
+        self.capacity = capacity
+        self.bits_per_key = bits_per_key
+        self.num_bits = max(64, capacity * bits_per_key)
+        # Optimal hash count for the chosen bits/key ratio, clamped to [1, 30].
+        self.num_hashes = min(30, max(1, round(bits_per_key * math.log(2))))
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of insert calls so far (duplicates counted)."""
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the filter has absorbed its sized-for number of inserts."""
+        return self._count >= self.capacity
+
+    def _positions(self, key: bytes) -> list[int]:
+        h1, h2 = _base_hashes(key)
+        m = self.num_bits
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self._count += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        for pos in self._positions(key):
+            if not (self._bits[pos >> 3] >> (pos & 7)) & 1:
+                return False
+        return True
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set; a saturation diagnostic."""
+        return float(np.unpackbits(self._bits).sum()) / self.num_bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size of the filter's bit array."""
+        return len(self._bits)
+
+    @staticmethod
+    def for_keys(keys: list[bytes], bits_per_key: int = 10) -> "BloomFilter":
+        """Build a filter sized for and populated with ``keys``."""
+        bf = BloomFilter(max(1, len(keys)), bits_per_key)
+        for k in keys:
+            bf.add(k)
+        return bf

@@ -1,0 +1,175 @@
+"""An in-memory B-tree index.
+
+HyperDB keeps a per-partition B-tree mapping keys to their NVMe locations
+(§3.6 "Index").  This implementation is a classic B+-tree: values live only
+in leaves, leaves are chained for range scans, and internal nodes hold
+separator keys.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, Optional
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []        # separator keys, len == len(children) - 1
+        self.children: list[Any] = []
+
+
+class BTreeIndex:
+    """Ordered map from ``bytes`` keys to arbitrary values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children per internal node (and keys per leaf).
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError(f"order must be >= 4, got {order}")
+        self._order = order
+        self._root: Any = _Leaf()
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    # ------------------------------------------------------------- lookup
+
+    def _find_leaf(self, key: bytes) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key: bytes) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # ------------------------------------------------------------- insert
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Insert or replace.  Returns True if the key was new."""
+        path: list[tuple[_Internal, int]] = []
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+        leaf: _Leaf = node
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            return False
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self._len += 1
+        if len(leaf.keys) >= self._order:
+            self._split(leaf, path)
+        return True
+
+    def _split(self, node: Any, path: list[tuple[_Internal, int]]) -> None:
+        if isinstance(node, _Leaf):
+            mid = len(node.keys) // 2
+            right = _Leaf()
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            right.next = node.next
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            node.next = right
+            sep = right.keys[0]
+        else:
+            mid = len(node.keys) // 2
+            right = _Internal()
+            sep = node.keys[mid]
+            right.keys = node.keys[mid + 1 :]
+            right.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+
+        if not path:
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [node, right]
+            self._root = new_root
+            return
+        parent, idx = path[-1]
+        parent.keys.insert(idx, sep)
+        parent.children.insert(idx + 1, right)
+        if len(parent.children) > self._order:
+            self._split(parent, path[:-1])
+
+    # ------------------------------------------------------------- delete
+
+    def delete(self, key: bytes) -> bool:
+        """Remove a key.  Returns True if it was present.
+
+        Uses lazy deletion at the structural level: leaves may become
+        under-full, which is fine for an in-memory index that is rebuilt on
+        recovery; lookups and scans remain correct.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+            self._len -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------- scans
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def items(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Ordered iteration over ``[start, end)``."""
+        leaf = self._leftmost_leaf() if start is None else self._find_leaf(start)
+        idx = 0 if start is None else bisect_left(leaf.keys, start)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if end is not None and key >= end:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def keys(self) -> Iterator[bytes]:
+        for k, _ in self.items():
+            yield k
+
+    def first_key(self) -> Optional[bytes]:
+        leaf = self._leftmost_leaf()
+        while leaf is not None and not leaf.keys:
+            leaf = leaf.next
+        return leaf.keys[0] if leaf else None

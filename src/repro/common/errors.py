@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A point lookup failed to find the requested key."""
+
+
+class CapacityError(ReproError):
+    """A device or tier ran out of space and could not reclaim enough."""
+
+
+class CorruptionError(ReproError):
+    """On-media data failed a structural or checksum validation."""
+
+
+class ClosedError(ReproError):
+    """An operation was attempted on a closed store, file, or device."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent."""

@@ -1,0 +1,29 @@
+"""Deterministic random number generation.
+
+Every stochastic component (workload generators, queueing noise, sampling in
+victim selection) takes an explicit ``numpy.random.Generator`` so whole
+experiments replay bit-identically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create a PCG64 generator from ``seed``.
+
+    ``None`` produces OS entropy; tests and benchmarks should always pass an
+    integer so results are reproducible.
+    """
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a numbered sub-stream.
+
+    Used to give each partition / client its own stream without the streams
+    being correlated.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (0x9E3779B97F4A7C15 * (stream + 1)) % 2**63
+    return np.random.default_rng(seed)

@@ -1,0 +1,130 @@
+"""A skip list, the memtable's ordered backing structure.
+
+Matches the paper's description of the MemTable ("a skip-list and sorted by
+keys").  Supports insert-or-replace, point lookup, and ordered iteration from
+an arbitrary start key — everything a memtable flush or merge iterator needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Optional
+
+_MAX_LEVEL = 16
+_P = 0.25
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[bytes], value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[Optional[_Node]] = [None] * level
+
+
+class SkipList:
+    """An ordered map from ``bytes`` keys to arbitrary values.
+
+    A dedicated ``random.Random`` keeps level choices deterministic per
+    instance (seeded by insertion order), so structures replay identically.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0
+        self._rand = random.Random(seed)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rand.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[i]
+            update[i] = node
+        return update
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Insert or replace.  Returns True if the key was new."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            node.value = value
+            return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new = _Node(key, value, level)
+        for i in range(level):
+            new.forward[i] = update[i].forward[i]
+            update[i].forward[i] = new
+        self._len += 1
+        return True
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[i]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: bytes) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def delete(self, key: bytes) -> bool:
+        """Physically remove a key.  Returns True if it was present."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for i in range(self._level):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= 1
+        return True
+
+    def items(self, start: Optional[bytes] = None) -> Iterator[tuple[bytes, Any]]:
+        """Ordered iteration over ``(key, value)``, from ``start`` (inclusive)."""
+        if start is None:
+            node = self._head.forward[0]
+        else:
+            update = self._find_predecessors(start)
+            node = update[0].forward[0]
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[bytes]:
+        for k, _ in self.items():
+            yield k
+
+    def first_key(self) -> Optional[bytes]:
+        node = self._head.forward[0]
+        return node.key if node else None
+
+    def last_key(self) -> Optional[bytes]:
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None:
+                node = node.forward[i]
+        return node.key if node is not self._head else None

@@ -1,0 +1,123 @@
+"""Counters and latency histograms.
+
+The benchmark harness reproduces the paper's throughput / median / P99 plots
+from these.  :class:`LatencyHistogram` keeps raw samples in a compact numpy
+buffer (geometrically grown) so percentiles are exact rather than bucketed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyHistogram:
+    """Stores raw latency samples and answers percentile queries.
+
+    Samples are appended into a pre-allocated numpy array that doubles when
+    full, keeping per-sample overhead to one float store.
+    """
+
+    def __init__(self, initial_capacity: int = 4096) -> None:
+        self._buf = np.empty(initial_capacity, dtype=np.float64)
+        self._n = 0
+
+    def record(self, latency: float) -> None:
+        if self._n == len(self._buf):
+            self._buf = np.concatenate([self._buf, np.empty_like(self._buf)])
+        self._buf[self._n] = latency
+        self._n += 1
+
+    def record_many(self, latencies: Iterable[float]) -> None:
+        arr = np.asarray(list(latencies), dtype=np.float64)
+        need = self._n + len(arr)
+        while need > len(self._buf):
+            self._buf = np.concatenate([self._buf, np.empty_like(self._buf)])
+        self._buf[self._n : self._n + len(arr)] = arr
+        self._n += len(arr)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def samples(self) -> np.ndarray:
+        """A read-only view of the recorded samples."""
+        view = self._buf[: self._n]
+        view.flags.writeable = False
+        return view
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0-100) of the recorded samples."""
+        if self._n == 0:
+            return 0.0
+        return float(np.percentile(self._buf[: self._n], q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            return 0.0
+        return float(self._buf[: self._n].mean())
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        self.record_many(other.samples())
+
+    def reset(self) -> None:
+        self._n = 0
+
+
+@dataclass
+class StatsRegistry:
+    """A flat namespace of counters and histograms owned by one engine run."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    histograms: Dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = LatencyHistogram()
+        return h
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self.counters.items()}
+
+    def reset(self) -> None:
+        for c in self.counters.values():
+            c.reset()
+        for h in self.histograms.values():
+            h.reset()

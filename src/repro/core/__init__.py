@@ -1,0 +1,12 @@
+"""HyperDB: the paper's full key-value store.
+
+:class:`repro.core.hyperdb.HyperDB` assembles the zone-based NVMe tier, the
+hotness tracker, cost-benefit migration, and the semi-SSTable capacity tier
+behind a single put/get/delete/scan API.
+"""
+
+from repro.core.interface import KVStore
+from repro.core.config import HyperDBConfig
+from repro.core.hyperdb import HyperDB
+
+__all__ = ["KVStore", "HyperDBConfig", "HyperDB"]

@@ -1,0 +1,220 @@
+"""The HyperDB engine (paper §3).
+
+Write path: objects land in the NVMe tier's zone slots (in-place for small
+updates).  When a partition crosses its high watermark, the migration
+scheduler demotes its coldest zones (cost-benefit) into the capacity tier's
+L1, where semi-SSTables absorb them with block-granularity merges and
+preemptive block compaction keeps deeper levels in shape.
+
+Read path: NVMe (zones + hot zone) → promotion staging cache → capacity
+tier.  Hot SATA reads are staged for asynchronous promotion into the hot
+zone with a *promotion* label.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.common.cache import LRUCache
+from repro.common.records import Record
+from repro.common.stats import StatsRegistry
+from repro.core.config import HyperDBConfig
+from repro.core.interface import KVStore
+from repro.lsm.iterator import merge_records
+from repro.lsm.semi.engine import CapacityTier
+from repro.lsm.semi.levels import SemiLevelConfig
+from repro.migration.promotion import PromotionManager
+from repro.migration.scheduler import MigrationScheduler
+from repro.nvme.tier import PerformanceTier
+from repro.simssd.device import SimDevice
+from repro.simssd.fs import SimFilesystem
+
+
+class HyperDB(KVStore):
+    """The paper's hybrid key-value store over two simulated devices."""
+
+    name = "hyperdb"
+
+    def __init__(
+        self,
+        nvme_device: SimDevice,
+        sata_device: SimDevice,
+        config: HyperDBConfig,
+    ) -> None:
+        self.config = config
+        self.nvme_device = nvme_device
+        self.sata_device = sata_device
+        self.cache = LRUCache(config.dram_cache_bytes)
+        self.stats = StatsRegistry()
+        self._seqno = 0
+
+        nvme_cfg = config.nvme
+        if not config.enable_hot_zone:
+            # Ablation: shrink the hot zone to (effectively) nothing.
+            from dataclasses import replace
+
+            nvme_cfg = replace(nvme_cfg, hot_zone_fraction=1e-9)
+        self.performance_tier = PerformanceTier(
+            nvme_device, config.key_space, nvme_cfg, cache=self.cache
+        )
+
+        sata_fs = SimFilesystem(sata_device)
+        semi_cfg = SemiLevelConfig(
+            key_space=config.key_space,
+            num_levels=config.semi_num_levels,
+            size_ratio=config.semi_size_ratio,
+            bottom_segments=config.semi_bottom_segments,
+            block_size=config.semi_block_size,
+            level1_target_bytes=config.semi_level1_target_bytes,
+        )
+        depth = config.compaction_depth if config.enable_preemptive_compaction else 1
+        self.capacity_tier = CapacityTier(
+            sata_fs,
+            semi_cfg,
+            depth=depth,
+            t_clean=config.t_clean,
+            space_amp_limit=config.space_amp_limit,
+            candidate_k=config.candidate_k,
+            rng=np.random.default_rng(config.rng_seed),
+            cache=self.cache,
+        )
+        self.migration = MigrationScheduler(self.performance_tier, self.capacity_tier)
+        self.promotion = PromotionManager(
+            self.performance_tier,
+            cache_entries=config.nvme.object_cache_entries,
+            on_pressure=self.migration.run_if_needed,
+        )
+
+    # -------------------------------------------------------------- write
+
+    def next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    def put(self, key: bytes, value: bytes) -> float:
+        """Insert or update: write to the NVMe tier, migrate if over watermark."""
+        self.stats.counter("puts").add()
+        rec = Record(key, value, self.next_seqno())
+        partition = self.performance_tier.partition_for_key(key)
+        service = partition.put(rec)
+        self.promotion.invalidate(key)
+        if partition.over_high_watermark():
+            self.migration.run_if_needed()
+        return service
+
+    def delete(self, key: bytes) -> float:
+        """Delete by writing a tombstone object into the NVMe tier; it
+        shadows any SATA copy and migrates down like a normal object."""
+        self.stats.counter("deletes").add()
+        rec = Record.tombstone(key, self.next_seqno())
+        partition = self.performance_tier.partition_for_key(key)
+        service = partition.put(rec)
+        self.promotion.invalidate(key)
+        if partition.over_high_watermark():
+            self.migration.run_if_needed()
+        return service
+
+    # --------------------------------------------------------------- read
+
+    def get(self, key: bytes) -> tuple[Optional[bytes], float]:
+        """Point lookup: NVMe, then the promotion staging cache, then SATA."""
+        self.stats.counter("gets").add()
+        if not self.config.key_space.contains(key):
+            return None, 0.0  # nothing outside the key space was ever stored
+        rec, service = self.performance_tier.get(key)
+        if rec is not None:
+            self.stats.counter("nvme_hits").add()
+            return (None if rec.is_tombstone else rec.value), service
+
+        staged = self.promotion.lookup(key)
+        if staged is not None:
+            self.stats.counter("staging_hits").add()
+            return (None if staged.is_tombstone else staged.value), service
+
+        rec, s = self.capacity_tier.get(key)
+        service += s
+        if rec is None:
+            return None, service
+        self.stats.counter("sata_hits").add()
+        if rec.is_tombstone:
+            return None, service
+        # Promote if the tracker considers this object hot (§3.5).
+        partition = self.performance_tier.partition_for_key(key)
+        if partition.tracker.is_hot(key):
+            self.promotion.stage(rec)
+            self.stats.counter("promotions_staged").add()
+        return rec.value, service
+
+    def scan(self, start: bytes, count: int) -> tuple[list[tuple[bytes, bytes]], float]:
+        """Range scan, implemented as merged sequential point queries
+        (§4.2: HyperDB's scan path; the layout difference between tiers
+        precludes RocksDB-style prefetching)."""
+        self.stats.counter("scans").add()
+        busy_before = self.nvme_device.busy_seconds() + self.sata_device.busy_seconds()
+
+        def nvme_stream() -> Iterator[Record]:
+            tier = self.performance_tier
+            idx = tier.partitions.index(tier.partition_for_key(start))
+            pos = start
+            for partition in tier.partitions[idx:]:
+                for key in partition.keys_in_range(pos, None):
+                    rec, _ = partition.get(key)
+                    if rec is not None:
+                        yield rec
+                pos = partition.key_range.hi
+                if pos is None:
+                    break
+
+        sata_records, _ = self.capacity_tier.scan(
+            start, count * 2, prefetch=self.config.enable_scan_prefetch
+        )
+
+        out: list[tuple[bytes, bytes]] = []
+        merged = merge_records(
+            [nvme_stream(), iter(sata_records)], drop_tombstones=True
+        )
+        for rec in merged:
+            out.append((rec.key, rec.value))
+            if len(out) >= count:
+                break
+        service = (
+            self.nvme_device.busy_seconds()
+            + self.sata_device.busy_seconds()
+            - busy_before
+        )
+        return out, service
+
+    # ------------------------------------------------------------- admin
+
+    def devices(self) -> dict[str, SimDevice]:
+        return {"nvme": self.nvme_device, "sata": self.sata_device}
+
+    def finalize(self) -> None:
+        self.promotion.drain()
+
+    def checkpoint(self) -> float:
+        """Back up every partition's index to NVMe (§3.1); returns the
+        service time.  Call before a planned shutdown; :meth:`recover`
+        rebuilds the in-memory indexes from the backups."""
+        self.finalize()
+        return sum(p.checkpoint() for p in self.performance_tier.partitions)
+
+    def recover(self) -> float:
+        """Rebuild all partitions' in-memory state from their checkpoints
+        (simulates a restart where DRAM content was lost but media
+        survived).  Returns the service time."""
+        return sum(p.recover() for p in self.performance_tier.partitions)
+
+    # ----------------------------------------------------------- metrics
+
+    def nvme_fill_fraction(self) -> float:
+        return self.performance_tier.fill_fraction()
+
+    def space_usage(self) -> dict[str, int]:
+        """Bytes in use per device (Fig. 11b's space-usage series)."""
+        return {
+            "nvme": self.nvme_device.used_bytes,
+            "sata": self.sata_device.used_bytes,
+        }

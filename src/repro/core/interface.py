@@ -1,0 +1,52 @@
+"""The store interface every engine (HyperDB and all baselines) implements.
+
+Service times returned by each operation are *simulated seconds* of device
+work on the operation's critical path; the workload runner combines them
+with the concurrency model to produce latency and throughput figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.simssd.device import SimDevice
+
+
+class KVStore(abc.ABC):
+    """Abstract tiered key-value store."""
+
+    #: Human-readable engine name used in benchmark tables.
+    name: str = "kvstore"
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> float:
+        """Insert or update.  Returns foreground service seconds."""
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> tuple[Optional[bytes], float]:
+        """Point lookup.  Returns ``(value_or_none, service_seconds)``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> float:
+        """Delete a key.  Returns foreground service seconds."""
+
+    @abc.abstractmethod
+    def scan(self, start: bytes, count: int) -> tuple[list[tuple[bytes, bytes]], float]:
+        """Range scan.  Returns ``(pairs, service_seconds)``."""
+
+    @abc.abstractmethod
+    def devices(self) -> dict[str, SimDevice]:
+        """The simulated devices backing this store, keyed by tier name."""
+
+    def finalize(self) -> None:
+        """Flush asynchronous state (end-of-run barrier).  Optional."""
+
+    # ------------------------------------------------------- conveniences
+
+    def multi_put(self, pairs) -> float:
+        """Bulk load helper; returns total service seconds."""
+        total = 0.0
+        for key, value in pairs:
+            total += self.put(key, value)
+        return total

@@ -1,0 +1,23 @@
+"""Lightweight object-hotness tracking (paper §3.3).
+
+HyperDB estimates object popularity from *access intervals*: an object whose
+recent accesses all fell within a bounded window is very likely to be
+accessed again soon (Fig. 6a).  The :class:`CascadingDiscriminator` detects
+this with a FIFO chain of fixed-capacity bloom filters — each sealed filter
+represents one access window, and membership in a continuous run of filters
+means every recent access interval was shorter than the window.
+"""
+
+from repro.hotness.discriminator import CascadingDiscriminator
+from repro.hotness.tracker import HotnessTracker
+from repro.hotness.interval import (
+    access_intervals,
+    interval_conditional_probabilities,
+)
+
+__all__ = [
+    "CascadingDiscriminator",
+    "HotnessTracker",
+    "access_intervals",
+    "interval_conditional_probabilities",
+]

@@ -1,0 +1,90 @@
+"""Access-interval analysis (reproduces paper Fig. 6a).
+
+Given an access trace (a sequence of keys), these helpers compute, per
+object, the conditional probability
+
+    P( t_next < t  |  the last s intervals were all < t )
+
+— the statistical basis for interval-based hotness detection: if the
+probability is high, "recently re-accessed within a window" predicts
+"will be re-accessed within the window".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Sequence
+
+import numpy as np
+
+
+def access_intervals(trace: Sequence[Hashable]) -> Dict[Hashable, np.ndarray]:
+    """Per-object arrays of gaps (in accesses) between consecutive accesses."""
+    positions: Dict[Hashable, list[int]] = defaultdict(list)
+    for pos, key in enumerate(trace):
+        positions[key].append(pos)
+    return {
+        key: np.diff(np.asarray(p))
+        for key, p in positions.items()
+        if len(p) >= 2
+    }
+
+
+def interval_conditional_probabilities(
+    trace: Sequence[Hashable],
+    threshold: int,
+    history: int = 1,
+) -> np.ndarray:
+    """Per-object conditional probabilities for one (threshold, history) cell.
+
+    Parameters
+    ----------
+    trace:
+        The access sequence.
+    threshold:
+        ``t`` — interval bound, in number of accesses (the paper expresses it
+        as a fraction of the workload size).
+    history:
+        ``s`` — how many consecutive past intervals must be below ``t``.
+
+    Returns
+    -------
+    One probability per object that produced at least one conditioning event;
+    objects with no qualifying history are excluded (as in the paper's
+    per-object boxplots).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if history < 1:
+        raise ValueError(f"history must be >= 1, got {history}")
+    probs: list[float] = []
+    for intervals in access_intervals(trace).values():
+        if len(intervals) <= history:
+            continue
+        below = intervals < threshold
+        events = 0
+        hits = 0
+        # windows of `history` consecutive below-threshold intervals,
+        # followed by one more interval to test.
+        run = 0
+        for i in range(len(intervals) - 1):
+            run = run + 1 if below[i] else 0
+            if run >= history:
+                events += 1
+                if below[i + 1]:
+                    hits += 1
+        if events:
+            probs.append(hits / events)
+    return np.asarray(probs, dtype=np.float64)
+
+
+def probability_summary(probs: np.ndarray) -> Dict[str, float]:
+    """Median and quartiles of the per-object probabilities (boxplot stats)."""
+    if len(probs) == 0:
+        return {"median": 0.0, "p25": 0.0, "p75": 0.0, "objects": 0.0}
+    return {
+        "median": float(np.percentile(probs, 50)),
+        "p25": float(np.percentile(probs, 25)),
+        "p75": float(np.percentile(probs, 75)),
+        "objects": float(len(probs)),
+    }

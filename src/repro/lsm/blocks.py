@@ -1,0 +1,79 @@
+"""On-media encoding of records and data blocks.
+
+Format of one record::
+
+    [seqno: 8B big-endian][flags: 1B][key_len: 2B][value_len: 4B][key][value]
+
+Flags bit 0 marks a tombstone (deletions are out-of-band of the value).
+
+A data block is a concatenation of records in key order followed by a 4-byte
+CRC32 checksum.  Decoding verifies the checksum and raises
+:class:`CorruptionError` on mismatch, which the failure-injection tests rely
+on.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterable, Iterator
+
+from repro.common.errors import CorruptionError
+from repro.common.records import Record
+
+_HEADER = struct.Struct(">QBHI")
+CHECKSUM_SIZE = 4
+_FLAG_TOMBSTONE = 0x01
+
+
+def encode_record(rec: Record) -> bytes:
+    """Serialize one record: header (seqno, flags, sizes) + key + value."""
+    flags = _FLAG_TOMBSTONE if rec.deleted else 0
+    return (
+        _HEADER.pack(rec.seqno, flags, len(rec.key), len(rec.value))
+        + rec.key
+        + rec.value
+    )
+
+
+def decode_records(data: bytes) -> Iterator[Record]:
+    """Decode back-to-back records from ``data`` (no checksum expected)."""
+    pos = 0
+    end = len(data)
+    while pos < end:
+        if pos + _HEADER.size > end:
+            raise CorruptionError(f"truncated record header at offset {pos}")
+        seqno, flags, klen, vlen = _HEADER.unpack_from(data, pos)
+        pos += _HEADER.size
+        if pos + klen + vlen > end:
+            raise CorruptionError(f"truncated record body at offset {pos}")
+        key = data[pos : pos + klen]
+        pos += klen
+        value = data[pos : pos + vlen]
+        pos += vlen
+        yield Record(key, value, seqno, deleted=bool(flags & _FLAG_TOMBSTONE))
+
+
+def encode_block(records: Iterable[Record]) -> bytes:
+    """Encode records into a checksummed data block."""
+    payload = b"".join(encode_record(r) for r in records)
+    return payload + struct.pack(">I", zlib.crc32(payload))
+
+
+def decode_block(block: bytes) -> list[Record]:
+    """Decode a checksummed data block, verifying integrity."""
+    if len(block) < CHECKSUM_SIZE:
+        raise CorruptionError("block shorter than its checksum")
+    payload, footer = block[:-CHECKSUM_SIZE], block[-CHECKSUM_SIZE:]
+    (expected,) = struct.unpack(">I", footer)
+    actual = zlib.crc32(payload)
+    if actual != expected:
+        raise CorruptionError(
+            f"block checksum mismatch: stored={expected:#x} computed={actual:#x}"
+        )
+    return list(decode_records(payload))
+
+
+def record_encoded_size(rec: Record) -> int:
+    """Size of one encoded record (excludes the per-block checksum)."""
+    return _HEADER.size + len(rec.key) + len(rec.value)

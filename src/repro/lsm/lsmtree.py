@@ -1,0 +1,381 @@
+"""The leveled LSM-tree engine.
+
+This is a complete single-node LSM key-value store over simulated devices:
+WAL → memtable → L0 flush → leveled compaction.  It powers the RocksDB-like
+baselines directly and (with ``first_level=1`` and semi-SSTables) underlies
+HyperDB's capacity tier.
+
+Tier placement follows RocksDB's ``db_paths``: each path is a filesystem plus
+a byte budget, and levels are assigned greedily to the first path whose
+remaining budget covers the level's target size — reproducing the paper's
+observation (§2.3) that a level cannot span storage tiers and that capacity
+use of the fast path is therefore coarse-grained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.cache import LRUCache
+from repro.common.errors import ConfigError
+from repro.common.records import Record
+from repro.common.stats import StatsRegistry
+from repro.lsm.compaction import LeveledCompactor
+from repro.lsm.iterator import merge_records
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.version import Version
+from repro.lsm.wal import WriteAheadLog
+from repro.simssd.fs import SimFilesystem
+from repro.simssd.traffic import TrafficKind
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@dataclass
+class LSMOptions:
+    """Tuning knobs, with defaults scaled 1/1024 from the paper's RocksDB
+    settings (64 MB SSTables, 64 MB memtable)."""
+
+    memtable_bytes: int = 64 * KiB
+    table_size_bytes: int = 64 * KiB
+    block_size: int = 4 * KiB
+    num_levels: int = 7
+    first_level: int = 0
+    level0_trigger: int = 4
+    level_base_bytes: int = 256 * KiB
+    level_multiplier: int = 10
+    wal_group_size: int = 32
+    wal_enabled: bool = True
+    block_cache_bytes: int = 0  # 0 = no cache; baselines pass the shared LRU
+
+    def __post_init__(self) -> None:
+        if self.memtable_bytes <= 0 or self.table_size_bytes <= 0:
+            raise ConfigError("memtable and table sizes must be positive")
+        if self.level_multiplier < 2:
+            raise ConfigError("level multiplier must be >= 2")
+        if self.first_level not in (0, 1):
+            raise ConfigError("first_level must be 0 or 1")
+
+
+@dataclass
+class DbPath:
+    """One entry of a RocksDB-style ``db_paths`` configuration."""
+
+    fs: SimFilesystem
+    target_bytes: int
+
+
+class LSMTree:
+    """A leveled LSM-tree key-value store.
+
+    Parameters
+    ----------
+    paths:
+        One or more :class:`DbPath`.  Levels are placed on paths in order,
+        by cumulative target size, like RocksDB's ``db_paths``.
+    options:
+        Engine tuning.
+    cache:
+        Optional shared block LRU (DRAM page cache).
+    """
+
+    def __init__(
+        self,
+        paths: list[DbPath] | SimFilesystem,
+        options: Optional[LSMOptions] = None,
+        cache: Optional[LRUCache] = None,
+    ) -> None:
+        if isinstance(paths, SimFilesystem):
+            paths = [DbPath(paths, target_bytes=1 << 62)]
+        if not paths:
+            raise ConfigError("at least one db path is required")
+        self.paths = paths
+        self.options = options or LSMOptions()
+        self.cache = cache
+        self.stats = StatsRegistry()
+
+        opts = self.options
+        self.version = Version(opts.num_levels, first_level=opts.first_level)
+        self._level_paths = self._assign_levels_to_paths()
+        self._table_seq = 0
+        self.compactor = LeveledCompactor(
+            self.version,
+            self.fs_for_level,
+            self._next_table_id,
+            table_size_bytes=opts.table_size_bytes,
+            block_size=opts.block_size,
+            level0_trigger=opts.level0_trigger,
+            level_base_bytes=opts.level_base_bytes,
+            level_multiplier=opts.level_multiplier,
+        )
+
+        self._seqno = 0
+        self._memtable = MemTable(opts.memtable_bytes)
+        self._immutables: list[MemTable] = []
+        self.wal = (
+            WriteAheadLog(paths[0].fs, name="wal", group_size=opts.wal_group_size)
+            if opts.wal_enabled
+            else None
+        )
+        #: Service time charged to foreground ops since construction;
+        #: the workload runner converts this into latency samples.
+        self.last_op_service = 0.0
+
+    # ------------------------------------------------------- level layout
+
+    def _assign_levels_to_paths(self) -> dict[int, SimFilesystem]:
+        opts = self.options
+        assignment: dict[int, SimFilesystem] = {}
+        path_idx = 0
+        # The first path also hosts the WAL; reserve room for it, and place
+        # levels with a 2x margin so transient build-ups (L0 accumulating to
+        # its trigger, both input and output tables alive mid-compaction)
+        # don't overflow a small fast device.
+        remaining = self.paths[0].target_bytes
+        if opts.wal_enabled:
+            remaining -= 2 * opts.memtable_bytes
+        first = opts.first_level
+        for level_no in range(first, first + opts.num_levels):
+            if level_no == 0:
+                need = 2 * opts.level0_trigger * opts.memtable_bytes
+            elif level_no == max(first, 1):
+                need = 2 * opts.level_base_bytes
+            else:
+                need = 2 * opts.level_base_bytes * (
+                    opts.level_multiplier ** (level_no - max(first, 1))
+                )
+            while need > remaining and path_idx < len(self.paths) - 1:
+                path_idx += 1
+                remaining = self.paths[path_idx].target_bytes
+            remaining -= need
+            assignment[level_no] = self.paths[path_idx].fs
+        return assignment
+
+    def fs_for_level(self, level_no: int) -> SimFilesystem:
+        return self._level_paths[level_no]
+
+    def _next_table_id(self) -> int:
+        self._table_seq += 1
+        return self._table_seq
+
+    def next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    # ------------------------------------------------------------- writes
+
+    def put(self, key: bytes, value: bytes) -> float:
+        """Insert or update.  Returns foreground service time."""
+        return self._write(Record(key, value, self.next_seqno()))
+
+    def delete(self, key: bytes) -> float:
+        """Delete via tombstone.  Returns foreground service time."""
+        return self._write(Record.tombstone(key, self.next_seqno()))
+
+    def ingest(self, rec: Record) -> float:
+        """Write a pre-stamped record (used by cross-tier migration)."""
+        if rec.seqno > self._seqno:
+            self._seqno = rec.seqno
+        return self._write(rec)
+
+    def _write(self, rec: Record) -> float:
+        service = 0.0
+        if self.wal is not None:
+            service += self.wal.append(rec)
+        self._memtable.put(rec)
+        self.stats.counter("puts").add()
+        if self._memtable.is_full:
+            service += self.flush()
+        self.last_op_service = service
+        return service
+
+    def flush(self) -> float:
+        """Rotate the memtable and persist it as an L0 (or L1) table."""
+        if len(self._memtable) == 0:
+            return 0.0
+        if self.wal is not None:
+            self.wal.sync()
+        imm = self._memtable
+        self._memtable = MemTable(self.options.memtable_bytes, seed=self._table_seq + 1)
+        self._immutables.append(imm)
+        service = self._flush_immutables()
+        if self.wal is not None:
+            self.wal.reset()
+        self.maybe_compact()
+        return service
+
+    def _flush_immutables(self) -> float:
+        first = self.options.first_level
+        service = 0.0
+        while self._immutables:
+            imm = self._immutables.pop(0)
+            fs = self.fs_for_level(first)
+            device_before = fs.device.busy_seconds()
+            if first == 0:
+                builder = SSTableBuilder(
+                    fs,
+                    self._next_table_id(),
+                    self.options.block_size,
+                    write_kind=TrafficKind.FLUSH,
+                )
+                for rec in imm.records():
+                    builder.add(rec)
+                table = builder.finish()
+                self.version.add_table(0, table)
+            else:
+                # Flushing straight into a sorted level: merge with overlaps.
+                self._merge_into_sorted_level(first, list(imm.records()))
+            service += fs.device.busy_seconds() - device_before
+            self.stats.counter("flushes").add()
+        return service
+
+    def _merge_into_sorted_level(
+        self, level_no: int, records: list[Record], kind=TrafficKind.FLUSH
+    ) -> None:
+        if not records:
+            return
+        lo = records[0].key
+        hi = records[-1].key + b"\x00"
+        overlaps = self.version.overlapping(level_no, lo, hi)
+        streams = [iter(records)] + [t.iter_records(kind) for t in overlaps]
+        merged = merge_records(streams)
+        fs = self.fs_for_level(level_no)
+        builder: Optional[SSTableBuilder] = None
+        outputs: list[SSTable] = []
+        for rec in merged:
+            if builder is None:
+                builder = SSTableBuilder(
+                    fs,
+                    self._next_table_id(),
+                    self.options.block_size,
+                    write_kind=kind,
+                )
+            builder.add(rec)
+            if builder.estimated_size >= self.options.table_size_bytes:
+                outputs.append(builder.finish())
+                builder = None
+        if builder is not None:
+            outputs.append(builder.finish())
+        for t in overlaps:
+            self.version.remove_table(level_no, t)
+            fs_owner = self.fs_for_level(level_no)
+            if fs_owner.exists(t.file.name):
+                fs_owner.delete(t.file.name)
+        for t in outputs:
+            self.version.add_table(level_no, t)
+
+    def ingest_batch(self, records: list[Record], kind=TrafficKind.MIGRATION) -> float:
+        """Merge a sorted, durable batch straight into the tree, bypassing
+        WAL and memtable (used for cross-tier demotions à la PrismDB).
+
+        Records must be sorted by key with no duplicates.
+        """
+        if not records:
+            return 0.0
+        first = self.options.first_level
+        fs = self.fs_for_level(first)
+        busy_before = fs.device.busy_seconds()
+        for rec in records:
+            if rec.seqno > self._seqno:
+                self._seqno = rec.seqno
+        if first == 0:
+            builder = SSTableBuilder(
+                fs, self._next_table_id(), self.options.block_size, write_kind=kind
+            )
+            for rec in records:
+                builder.add(rec)
+            self.version.add_table(0, builder.finish())
+        else:
+            self._merge_into_sorted_level(first, records, kind)
+        service = fs.device.busy_seconds() - busy_before
+        self.maybe_compact()
+        return service
+
+    def maybe_compact(self, max_rounds: int = 64) -> int:
+        return self.compactor.maybe_compact(max_rounds)
+
+    # -------------------------------------------------------------- reads
+
+    def get(self, key: bytes) -> tuple[Optional[bytes], float]:
+        """Point lookup.  Returns ``(value_or_none, service_time)``."""
+        self.stats.counter("gets").add()
+        rec = self._memtable.get(key)
+        if rec is None:
+            for imm in reversed(self._immutables):
+                rec = imm.get(key)
+                if rec is not None:
+                    break
+        if rec is not None:
+            self.last_op_service = 0.0
+            return (None if rec.is_tombstone else rec.value), 0.0
+
+        service = 0.0
+        first = self.options.first_level
+        if first == 0:
+            for table in reversed(list(self.version.level(0))):
+                if table.first_key <= key <= table.last_key:
+                    rec, s = table.get(key, TrafficKind.FOREGROUND, self.cache)
+                    service += s
+                    if rec is not None:
+                        self.last_op_service = service
+                        return (None if rec.is_tombstone else rec.value), service
+        for level_no in range(max(first, 1), first + self.options.num_levels):
+            if level_no - first >= self.version.num_levels:
+                break
+            candidates = self.version.overlapping(level_no, key, key + b"\x00")
+            if not candidates:
+                continue
+            rec, s = candidates[0].get(key, TrafficKind.FOREGROUND, self.cache)
+            service += s
+            if rec is not None:
+                self.last_op_service = service
+                return (None if rec.is_tombstone else rec.value), service
+        self.last_op_service = service
+        return None, service
+
+    def scan(self, start: bytes, count: int) -> tuple[list[tuple[bytes, bytes]], float]:
+        """Range scan of up to ``count`` live records from ``start``."""
+        self.stats.counter("scans").add()
+        devices = {id(p.fs.device): p.fs.device for p in self.paths}
+        device_busy_before = {k: d.busy_seconds() for k, d in devices.items()}
+        streams: list[Iterator[Record]] = [self._memtable.records(start=start)]
+        for imm in reversed(self._immutables):
+            streams.append(imm.records(start=start))
+        first = self.options.first_level
+        if first == 0:
+            for table in reversed(list(self.version.level(0))):
+                streams.append(table.iter_from(start, TrafficKind.FOREGROUND, self.cache))
+        for level_no in range(max(first, 1), first + self.options.num_levels):
+            if level_no - first >= self.version.num_levels:
+                break
+            lvl_tables = self.version.level(level_no).overlapping(start, None)
+            def level_stream(tables=lvl_tables):
+                for t in tables:
+                    yield from t.iter_from(start, TrafficKind.FOREGROUND, self.cache)
+            streams.append(level_stream())
+        out: list[tuple[bytes, bytes]] = []
+        for rec in merge_records(streams, drop_tombstones=True):
+            out.append((rec.key, rec.value))
+            if len(out) >= count:
+                break
+        service = sum(
+            d.busy_seconds() - device_busy_before[k] for k, d in devices.items()
+        )
+        self.last_op_service = service
+        return out, service
+
+    # ------------------------------------------------------------ metrics
+
+    def size_bytes(self) -> int:
+        return self.version.total_size_bytes()
+
+    def num_records_estimate(self) -> int:
+        return len(self._memtable) + sum(
+            lvl.num_records() for lvl in self.version.all_levels()
+        )
+
+    def level_sizes(self) -> dict[int, int]:
+        return {lvl.level: lvl.size_bytes() for lvl in self.version.all_levels()}

@@ -1,0 +1,61 @@
+"""The in-memory write buffer.
+
+A :class:`MemTable` is a skip list of :class:`Record` keyed by the record
+key, with running size accounting so the engine knows when to rotate it to
+immutable and flush.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.records import Record
+from repro.common.skiplist import SkipList
+
+
+class MemTable:
+    """Sorted in-memory buffer of the most recent writes."""
+
+    def __init__(self, capacity_bytes: int, seed: int = 0) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries = SkipList(seed=seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size >= self.capacity_bytes
+
+    def put(self, rec: Record) -> None:
+        """Insert or replace; tombstones are stored like any record."""
+        old: Optional[Record] = self._entries.get(rec.key)
+        if old is not None:
+            self._size -= old.encoded_size
+        self._entries.insert(rec.key, rec)
+        self._size += rec.encoded_size
+
+    def get(self, key: bytes) -> Optional[Record]:
+        """The newest record for ``key``, tombstones included, else None."""
+        return self._entries.get(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def records(self, start: Optional[bytes] = None) -> Iterator[Record]:
+        """Key-ordered iteration of all live records (tombstones included)."""
+        for _, rec in self._entries.items(start=start):
+            yield rec
+
+    def first_key(self) -> Optional[bytes]:
+        return self._entries.first_key()
+
+    def last_key(self) -> Optional[bytes]:
+        return self._entries.last_key()

@@ -1,0 +1,29 @@
+"""Semi-sorted tables and preemptive block compaction (paper §3.2, §3.4).
+
+A *semi-SSTable* keeps records sorted **within** each data block but allows
+blocks to be **appended after the file is persisted**, so merging new objects
+into a table only rewrites the blocks whose key ranges they touch — clean
+blocks are left in place.  The stale copies of rewritten ("dirty") blocks
+remain in the file until a *full compaction* reclaims them, trading a little
+space amplification for a large reduction in compaction write volume.
+
+*Preemptive block compaction* extends this across levels: when a victim
+table's objects also have older versions several levels deeper, they are
+merged directly into the deepest such level, skipping the intermediate
+rewrites that classic leveled compaction would perform.
+"""
+
+from repro.lsm.semi.semisstable import SemiSSTable, SemiBlock
+from repro.lsm.semi.levels import SemiLevels, SemiLevelConfig
+from repro.lsm.semi.compaction import PreemptiveBlockCompactor, SemiCompactionStats
+from repro.lsm.semi.engine import CapacityTier
+
+__all__ = [
+    "SemiSSTable",
+    "SemiBlock",
+    "SemiLevels",
+    "SemiLevelConfig",
+    "PreemptiveBlockCompactor",
+    "SemiCompactionStats",
+    "CapacityTier",
+]

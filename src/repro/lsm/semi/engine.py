@@ -1,0 +1,185 @@
+"""The capacity-tier engine: semi-SSTable levels + preemptive compaction.
+
+This is the SATA-resident half of HyperDB.  Batches of objects demoted from
+the NVMe tier are merged into ``L1`` (the NVMe tier is conceptually ``L0``),
+and preemptive block compaction keeps levels within target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.records import Record
+from repro.lsm.semi.compaction import PreemptiveBlockCompactor
+from repro.lsm.semi.levels import SemiLevelConfig, SemiLevels
+from repro.simssd.fs import SimFilesystem
+from repro.simssd.traffic import TrafficKind
+
+
+class CapacityTier:
+    """HyperDB's SATA-tier store."""
+
+    def __init__(
+        self,
+        fs: SimFilesystem,
+        config: SemiLevelConfig,
+        depth: int = 2,
+        t_clean: float = 0.5,
+        space_amp_limit: float = 1.5,
+        candidate_k: int = 8,
+        rng: Optional[np.random.Generator] = None,
+        cache=None,
+    ) -> None:
+        self.fs = fs
+        self.levels = SemiLevels(fs, config)
+        self.compactor = PreemptiveBlockCompactor(
+            self.levels,
+            depth=depth,
+            t_clean=t_clean,
+            space_amp_limit=space_amp_limit,
+            candidate_k=candidate_k,
+            rng=rng,
+        )
+        self.cache = cache
+
+    # ------------------------------------------------------------- writes
+
+    def ingest(
+        self, records: list[Record], kind: TrafficKind = TrafficKind.MIGRATION
+    ) -> float:
+        """Merge a demotion batch into L1 and rebalance.
+
+        ``records`` need not be sorted; they are grouped by L1 segment.
+        Returns the service time charged for the L1 merge (compaction time
+        is background and accounted on the device).
+        """
+        if not records:
+            return 0.0
+        by_segment: dict[int, list[Record]] = {}
+        lvl1 = self.levels.level(1)
+        for rec in records:
+            by_segment.setdefault(lvl1.segment_of(rec.key), []).append(rec)
+        service = 0.0
+        for seg, recs in sorted(by_segment.items()):
+            recs.sort(key=lambda r: r.key)
+            deduped = [recs[0]]
+            for rec in recs[1:]:
+                if rec.key == deduped[-1].key:
+                    if rec.seqno > deduped[-1].seqno:
+                        deduped[-1] = rec
+                else:
+                    deduped.append(rec)
+            table = self.levels.table_for_key(1, deduped[0].key, create=True)
+            service += table.merge_append(deduped, kind)
+            self.compactor._maybe_full_compact(table)
+        self.compactor.maybe_compact()
+        return service
+
+    # -------------------------------------------------------------- reads
+
+    def get(
+        self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND
+    ) -> tuple[Optional[Record], float]:
+        """Newest record for ``key`` across all levels (tombstones included)."""
+        service = 0.0
+        for level_no in range(1, self.levels.num_levels + 1):
+            table = self.levels.table_for_key(level_no, key)
+            if table is None:
+                continue
+            rec, s = table.get(key, kind, self.cache)
+            service += s
+            if rec is not None:
+                return rec, service
+        return None, service
+
+    def contains_key(self, key: bytes) -> bool:
+        """Index-only membership check across levels (no data I/O)."""
+        for level_no in range(1, self.levels.num_levels + 1):
+            table = self.levels.table_for_key(level_no, key)
+            if table is not None and table.contains_key(key):
+                return True
+        return False
+
+    def scan(
+        self,
+        start: bytes,
+        count: int,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        prefetch: bool = False,
+    ) -> tuple[list[Record], float]:
+        """Up to ``count`` live records from ``start``, in key order.
+
+        Default mode is index-directed sequential point queries (§4.2): the
+        candidate keys come from the tables' index blocks (kept on NVMe, no
+        data-tier I/O), then each record is fetched with one block read.
+        Blocks being unordered between themselves is why HyperDB gains
+        nothing on YCSB-E relative to a strictly sorted LSM.
+
+        ``prefetch=True`` enables the paper's *future-work* optimization:
+        the blocks a scan will touch are identified up front from the index
+        and fetched per-table as coalesced sequential runs.
+        """
+        device_before = self.fs.device.busy_seconds()
+        want = count + 16  # slack for tombstones
+        # key -> shallowest level holding it (the authoritative version).
+        owner: dict[bytes, int] = {}
+        for level_no in range(self.levels.num_levels, 0, -1):
+            tables = sorted(
+                (
+                    t
+                    for t in self.levels.tables_overlapping(level_no, start, None)
+                    if t.num_valid_records > 0
+                ),
+                key=lambda t: t.declared_range.lo,
+            )
+            got = 0
+            for t in tables:
+                for key in t.keys_from(start, want - got):
+                    owner[key] = level_no  # shallower levels overwrite
+                    got += 1
+                if got >= want:
+                    break
+        keys = sorted(owner)
+        if prefetch:
+            self._prefetch_scan_blocks(keys, owner, kind)
+        out: list[Record] = []
+        for key in keys:
+            table = self.levels.table_for_key(owner[key], key)
+            rec, _ = table.get(key, kind, self.cache)
+            if rec is None or rec.is_tombstone:
+                continue
+            out.append(rec)
+            if len(out) >= count:
+                break
+        return out, self.fs.device.busy_seconds() - device_before
+
+    def _prefetch_scan_blocks(self, keys, owner, kind) -> None:
+        """Bulk-read every block the scan will touch into the page cache."""
+        if self.cache is None:
+            return  # nowhere to stage prefetched blocks
+        by_table: dict[int, tuple] = {}
+        for key in keys:
+            table = self.levels.table_for_key(owner[key], key)
+            entry = table._key_map.get(key)
+            if entry is None:
+                continue
+            block = table._blocks_by_id[entry[0]]
+            tid = id(table)
+            if tid not in by_table:
+                by_table[tid] = (table, {})
+            by_table[tid][1][block.block_id] = block
+        for table, blocks in by_table.values():
+            table.read_blocks_bulk(list(blocks.values()), kind, self.cache)
+
+    # --------------------------------------------------------- accounting
+
+    def used_bytes(self) -> int:
+        return self.levels.total_file_bytes()
+
+    def valid_bytes(self) -> int:
+        return self.levels.total_valid_bytes()
+
+    def space_amplification(self) -> float:
+        return self.levels.space_amplification()

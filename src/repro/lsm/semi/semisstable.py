@@ -1,0 +1,492 @@
+"""The semi-sorted string table (paper §3.2, Fig. 5).
+
+Layout of one semi-SSTable:
+
+* **data blocks** — records sorted *within* a block; blocks appended over the
+  table's lifetime need not be ordered relative to each other;
+* **metadata blocks** — a bloom filter per table for fast negative lookups;
+* **index blocks** — per-block key ranges, offsets, and validity, plus the
+  set of all *valid* keys in the table (the paper prefix-compresses these;
+  we keep them in an in-memory map and charge their serialized size).
+
+Merging new objects (:meth:`SemiSSTable.merge_append`) rewrites only the
+blocks whose keys are touched: their surviving records are merged with the
+incoming ones into fresh blocks appended at the file's end, the old blocks
+are marked dead, and clean blocks are untouched.  Dead blocks make the file
+larger than its live payload — :attr:`SemiSSTable.dirty_ratio` and
+:meth:`SemiSSTable.full_compact` manage that space debt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.bloom import BloomFilter
+from repro.common.errors import ReproError
+from repro.common.keys import KeyRange, ranges_overlap
+from repro.common.records import Record
+from repro.lsm.blocks import decode_block, encode_block, record_encoded_size
+from repro.simssd.fs import SimFile, SimFilesystem
+from repro.simssd.traffic import TrafficKind
+
+
+@dataclass(slots=True)
+class SemiBlock:
+    """Index metadata for one data block of a semi-SSTable."""
+
+    block_id: int
+    first_key: bytes
+    last_key: bytes
+    offset: int
+    length: int
+    num_records: int
+    valid_count: int
+
+    @property
+    def is_dead(self) -> bool:
+        return self.valid_count == 0
+
+    @property
+    def is_dirty(self) -> bool:
+        return 0 < self.valid_count < self.num_records
+
+    def overlaps(self, lo: bytes, hi: Optional[bytes]) -> bool:
+        return ranges_overlap(self.first_key, self.last_key + b"\x00", lo, hi)
+
+
+class SemiSSTable:
+    """A mutable-by-append semi-sorted table owning one declared key range.
+
+    Parameters
+    ----------
+    table_id:
+        Unique id within the tree.
+    fs:
+        Filesystem (device) the table file lives on.
+    declared_range:
+        The key segment this table is responsible for (§3.2: files at each
+        level own fixed, non-overlapping key segments so deep compactions
+        stop cascading).
+    block_size:
+        Target encoded size of one data block.
+    """
+
+    def __init__(
+        self,
+        table_id: int,
+        fs: SimFilesystem,
+        declared_range: KeyRange,
+        block_size: int = 4096,
+        bits_per_key: int = 10,
+    ) -> None:
+        self.table_id = table_id
+        self.fs = fs
+        self.declared_range = declared_range
+        self.block_size = block_size
+        self.bits_per_key = bits_per_key
+        self.file: SimFile = fs.create(f"semi_{table_id:08d}")
+        self.blocks: list[SemiBlock] = []
+        # key -> (block_id, seqno, record_size); the table's "index block".
+        self._key_map: dict[bytes, tuple[int, int, int]] = {}
+        self._blocks_by_id: dict[int, SemiBlock] = {}
+        self._next_block_id = 0
+        self._bloom = BloomFilter(4096, bits_per_key)
+        self._valid_bytes = 0
+        #: Bumped by full_compact so cached block decodes of the previous
+        #: file generation (same name, same offsets) cannot alias.
+        self._generation = 0
+
+    # ----------------------------------------------------------- metadata
+
+    @property
+    def num_valid_records(self) -> int:
+        return len(self._key_map)
+
+    @property
+    def valid_bytes(self) -> int:
+        """Live payload bytes (what a full compaction would retain)."""
+        return self._valid_bytes
+
+    @property
+    def file_bytes(self) -> int:
+        return self.file.size
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_dead_blocks(self) -> int:
+        return sum(1 for b in self.blocks if b.is_dead)
+
+    @property
+    def dirty_ratio(self) -> float:
+        """Fraction of blocks that are dead or dirty (stale data on media)."""
+        if not self.blocks:
+            return 0.0
+        stale = sum(1 for b in self.blocks if b.is_dead or b.is_dirty)
+        return stale / len(self.blocks)
+
+    @property
+    def dead_bytes(self) -> int:
+        """File bytes in blocks that no longer back any valid record."""
+        live = sum(b.length for b in self.blocks if not b.is_dead)
+        return max(0, self.file.size - live)
+
+    def _index_size_estimate(self) -> int:
+        # Serialized metadata: a bloom sized to the live keys (10 bits each)
+        # plus one index entry per block.  The in-memory filter may be
+        # over-provisioned; media pays only for what a real table would store.
+        bloom_bytes = (self.num_valid_records * self.bits_per_key + 7) // 8
+        return bloom_bytes + 24 * len(self.blocks)
+
+    def index_read_size(self) -> int:
+        """Bytes a worker reads to fetch this table's keys from index blocks
+        (Algorithm 1 reads only index blocks, never data blocks)."""
+        key_bytes = sum(len(k) for k in self._key_map)
+        # Prefix compression on sorted fixed-width keys: ~half the raw size.
+        return self._index_size_estimate() + key_bytes // 2
+
+    def contains_key(self, key: bytes) -> bool:
+        """Index-only membership test (no data-block I/O)."""
+        return key in self._key_map
+
+    def valid_keys(self) -> list[bytes]:
+        return sorted(self._key_map)
+
+    def keys_from(self, start: bytes, limit: int) -> list[bytes]:
+        """Up to ``limit`` sorted valid keys >= ``start`` — an index-only
+        operation (the key list lives in the index blocks)."""
+        return sorted(k for k in self._key_map if k >= start)[:limit]
+
+    def key_seqno(self, key: bytes) -> Optional[int]:
+        """Sequence number of the table's valid copy of ``key``, if any."""
+        entry = self._key_map.get(key)
+        return entry[1] if entry else None
+
+    def overlapping_blocks(self, lo: bytes, hi: Optional[bytes]) -> list[SemiBlock]:
+        """Live blocks whose key range intersects ``[lo, hi)``."""
+        return [b for b in self.blocks if not b.is_dead and b.overlaps(lo, hi)]
+
+    # -------------------------------------------------------------- reads
+
+    def get(
+        self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND, cache=None
+    ) -> tuple[Optional[Record], float]:
+        """Point lookup.  Returns ``(record_or_none, service_time)``."""
+        if key not in self._bloom:
+            return None, 0.0
+        entry = self._key_map.get(key)
+        if entry is None:
+            return None, 0.0
+        block = self._blocks_by_id[entry[0]]
+        records, service = self._read_block(block, kind, cache)
+        for rec in records:
+            if rec.key == key:
+                return rec, service
+        raise ReproError(
+            f"index says key {key!r} is in block {block.block_id} but it is not"
+        )
+
+    def _read_block(
+        self, block: SemiBlock, kind: TrafficKind, cache=None
+    ) -> tuple[list[Record], float]:
+        cache_key = ("semiblk", self.file.name, self._generation, block.offset)
+        if cache is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached, 0.0
+        raw, service = self.file.read(block.offset, block.length, kind)
+        records = decode_block(raw)
+        if cache is not None:
+            cache.put(cache_key, records, charge=block.length)
+        return records, service
+
+    def read_blocks_bulk(
+        self,
+        blocks: list[SemiBlock],
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache=None,
+    ) -> tuple[dict[int, list[Record]], float]:
+        """Prefetch many blocks at once (the paper's future-work scan
+        optimization): blocks are sorted by file offset and contiguous runs
+        are fetched as single sequential I/Os, paying one command setup per
+        run instead of one per block."""
+        out: dict[int, list[Record]] = {}
+        pending: list[SemiBlock] = []
+        service = 0.0
+        for block in sorted(blocks, key=lambda b: b.offset):
+            cache_key = ("semiblk", self.file.name, self._generation, block.offset)
+            cached = cache.get(cache_key) if cache is not None else None
+            if cached is not None:
+                out[block.block_id] = cached
+                continue
+            pending.append(block)
+        # Coalesce adjacent blocks into sequential runs.
+        run: list[SemiBlock] = []
+        runs: list[list[SemiBlock]] = []
+        for block in pending:
+            if run and block.offset != run[-1].offset + run[-1].length:
+                runs.append(run)
+                run = []
+            run.append(block)
+        if run:
+            runs.append(run)
+        for run in runs:
+            start = run[0].offset
+            length = run[-1].offset + run[-1].length - start
+            raw, s = self.file.read(start, length, kind, sequential=True)
+            service += s
+            for block in run:
+                chunk = raw[block.offset - start : block.offset - start + block.length]
+                records = decode_block(chunk)
+                out[block.block_id] = records
+                if cache is not None:
+                    cache.put(
+                        ("semiblk", self.file.name, self._generation, block.offset),
+                        records,
+                        charge=block.length,
+                    )
+        return out, service
+
+    def iter_valid_records(
+        self, kind: TrafficKind = TrafficKind.COMPACTION, cache=None
+    ) -> Iterator[Record]:
+        """All valid records in key order (reads every live block once)."""
+        out: list[Record] = []
+        for block in self.blocks:
+            if block.is_dead:
+                continue
+            records, _ = self._read_block(block, kind, cache)
+            for rec in records:
+                entry = self._key_map.get(rec.key)
+                if entry is not None and entry[0] == block.block_id:
+                    out.append(rec)
+        out.sort(key=lambda r: r.key)
+        return iter(out)
+
+    def iter_from(
+        self, start: bytes, kind: TrafficKind = TrafficKind.FOREGROUND, cache=None
+    ) -> Iterator[Record]:
+        """Ordered iteration of valid records with key >= ``start``.
+
+        Because blocks are unordered between themselves, a scan touches every
+        live block overlapping the requested span — this is the scan penalty
+        the paper acknowledges for YCSB-E (§4.2).
+        """
+        for rec in self.iter_valid_records(kind, cache):
+            if rec.key >= start:
+                yield rec
+
+    # ------------------------------------------------------------- writes
+
+    def merge_append(
+        self,
+        records: list[Record],
+        kind: TrafficKind = TrafficKind.COMPACTION,
+        invalidate_only: Optional[set[bytes]] = None,
+    ) -> float:
+        """Merge sorted ``records`` into the table at block granularity.
+
+        Blocks containing keys being written are read, their surviving
+        records merged with the incoming ones, and the result appended as
+        fresh blocks; untouched blocks stay clean (paper Fig. 5).
+
+        ``invalidate_only`` keys are removed from the index without writing a
+        replacement (their newer version went to a deeper level).
+
+        Returns the service time charged.
+        """
+        service = 0.0
+        if invalidate_only:
+            for key in invalidate_only:
+                self._invalidate(key)
+        if not records:
+            service += self._rewrite_index(kind)
+            return service
+        for a, b in zip(records, records[1:]):
+            if a.key >= b.key:
+                raise ReproError("merge_append requires strictly sorted records")
+        for rec in records:
+            if not self.declared_range.contains(rec.key):
+                raise ReproError(
+                    f"record key {rec.key!r} outside declared range of table "
+                    f"{self.table_id}"
+                )
+
+        incoming = {r.key: r for r in records}
+        # Skip records older than what the table already holds.
+        for key in list(incoming):
+            entry = self._key_map.get(key)
+            if entry is not None and entry[1] >= incoming[key].seqno:
+                del incoming[key]
+        if not incoming:
+            service += self._rewrite_index(kind)
+            return service
+
+        # Find the blocks whose live records are displaced by the merge.
+        touched: dict[int, SemiBlock] = {}
+        for key in incoming:
+            entry = self._key_map.get(key)
+            if entry is not None:
+                block = self._blocks_by_id[entry[0]]
+                touched[block.block_id] = block
+
+        survivors: list[Record] = []
+        for block in touched.values():
+            block_records, s = self._read_block(block, kind)
+            service += s
+            for rec in block_records:
+                entry = self._key_map.get(rec.key)
+                if (
+                    entry is not None
+                    and entry[0] == block.block_id
+                    and rec.key not in incoming
+                ):
+                    survivors.append(rec)
+
+        merged = sorted(
+            list(incoming.values()) + survivors, key=lambda r: r.key
+        )
+
+        # Retire the touched blocks entirely (their bytes become dead space).
+        for block in touched.values():
+            self._kill_block(block)
+
+        service += self._append_blocks(merged, kind)
+        service += self._rewrite_index(kind)
+        return service
+
+    def _append_blocks(self, merged: list[Record], kind: TrafficKind) -> float:
+        service = 0.0
+        chunk: list[Record] = []
+        chunk_size = 0
+        for rec in merged:
+            chunk.append(rec)
+            chunk_size += record_encoded_size(rec)
+            if chunk_size >= self.block_size:
+                service += self._write_block(chunk, kind)
+                chunk, chunk_size = [], 0
+        if chunk:
+            service += self._write_block(chunk, kind)
+        return service
+
+    def _write_block(self, chunk: list[Record], kind: TrafficKind) -> float:
+        payload = encode_block(chunk)
+        offset, service = self.file.append(payload, kind, sequential=True)
+        block = SemiBlock(
+            block_id=self._next_block_id,
+            first_key=chunk[0].key,
+            last_key=chunk[-1].key,
+            offset=offset,
+            length=len(payload),
+            num_records=len(chunk),
+            valid_count=len(chunk),
+        )
+        self._next_block_id += 1
+        self.blocks.append(block)
+        self._blocks_by_id[block.block_id] = block
+        for rec in chunk:
+            old = self._key_map.get(rec.key)
+            if old is not None:
+                self._retire_entry(rec.key, old)
+            self._key_map[rec.key] = (block.block_id, rec.seqno, rec.encoded_size)
+            self._valid_bytes += rec.encoded_size
+            self._bloom.add(rec.key)
+        return service
+
+    def _retire_entry(self, key: bytes, entry: tuple[int, int, int]) -> None:
+        old_block = self._blocks_by_id[entry[0]]
+        old_block.valid_count -= 1
+        self._valid_bytes -= entry[2]
+
+    def _invalidate(self, key: bytes) -> bool:
+        entry = self._key_map.pop(key, None)
+        if entry is None:
+            return False
+        self._retire_entry(key, entry)
+        return True
+
+    def extract_block_records(
+        self, key: bytes, kind: TrafficKind = TrafficKind.COMPACTION
+    ) -> tuple[list[Record], float]:
+        """Remove and return all valid records of the block holding ``key``.
+
+        Used by preemptive compaction's ride-along (paper Fig. 7): when a
+        block's key is superseded by a record going to a deeper level, the
+        block's surviving neighbours travel down with it instead of staying
+        behind as dirty data.  The block is retired.
+        """
+        entry = self._key_map.get(key)
+        if entry is None:
+            return [], 0.0
+        block = self._blocks_by_id[entry[0]]
+        records, service = self._read_block(block, kind)
+        survivors = [
+            rec
+            for rec in records
+            if (e := self._key_map.get(rec.key)) is not None
+            and e[0] == block.block_id
+        ]
+        self._kill_block(block)
+        return survivors, service
+
+    def _kill_block(self, block: SemiBlock) -> None:
+        """Drop every index entry still pointing at ``block``."""
+        if block.valid_count == 0:
+            return
+        for key in [k for k, e in self._key_map.items() if e[0] == block.block_id]:
+            entry = self._key_map.pop(key)
+            self._valid_bytes -= entry[2]
+        block.valid_count = 0
+
+    def _rewrite_index(self, kind: TrafficKind) -> float:
+        """Charge writing fresh metadata + index blocks after a merge."""
+        size = self._index_size_estimate()
+        if size == 0:
+            return 0.0
+        # Index/metadata blocks are small relative to data blocks (§3.1) and
+        # are charged as I/O without growing the data extent.
+        return self.fs.device.write_bytes_io(size, kind, sequential=True)
+
+    # ------------------------------------------------------ housekeeping
+
+    def full_compact(self, kind: TrafficKind = TrafficKind.COMPACTION) -> float:
+        """Rewrite the table clean: read live blocks, rewrite a fresh file.
+
+        Reclaims dead bytes and restores block ordering, improving later
+        sequential reads (paper: "regular full compaction can enhance the
+        organization of data within the table").
+        """
+        live = list(self.iter_valid_records(kind))
+        service = 0.0
+        old_name = self.file.name
+        self.fs.delete(old_name)
+        self.file = self.fs.create(old_name)
+        self._generation += 1
+        self.blocks = []
+        self._blocks_by_id = {}
+        self._key_map = {}
+        self._next_block_id = 0
+        self._valid_bytes = 0
+        self._bloom = BloomFilter(max(1024, len(live)), self.bits_per_key)
+        if live:
+            service += self._append_blocks(live, kind)
+        service += self._rewrite_index(kind)
+        return service
+
+    def destroy(self) -> None:
+        """Delete the backing file and drop all state."""
+        if self.fs.exists(self.file.name):
+            self.fs.delete(self.file.name)
+        self.blocks = []
+        self._blocks_by_id = {}
+        self._key_map = {}
+        self._valid_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SemiSSTable(id={self.table_id}, blocks={len(self.blocks)}, "
+            f"valid={self.num_valid_records}, dirty={self.dirty_ratio:.2f})"
+        )

@@ -1,0 +1,279 @@
+"""Sorted string tables.
+
+An :class:`SSTable` is an immutable, fully sorted run of records:
+
+* **data blocks** — records in key order, packed to ~``block_size`` bytes;
+* **metadata block** — a bloom filter over all keys;
+* **index block** — per-block key ranges and file offsets.
+
+The index and bloom are kept in memory (the paper stores a backup of them on
+NVMe; either way lookups don't pay data-tier I/O for them) but their bytes
+are appended to the table file so space accounting is honest.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.bloom import BloomFilter
+from repro.common.cache import LRUCache
+from repro.common.errors import ReproError
+from repro.common.keys import KeyRange
+from repro.common.records import Record
+from repro.lsm.blocks import decode_block, encode_block, record_encoded_size
+from repro.simssd.fs import SimFile, SimFilesystem
+from repro.simssd.traffic import TrafficKind
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass(slots=True)
+class BlockHandle:
+    """Index entry describing one data block."""
+
+    first_key: bytes
+    last_key: bytes
+    offset: int
+    length: int
+    num_records: int
+
+    @property
+    def key_range(self) -> KeyRange:
+        return KeyRange(self.first_key, self.last_key + b"\x00")
+
+    def index_entry_size(self) -> int:
+        """Approximate serialized size of this index entry."""
+        return len(self.first_key) + len(self.last_key) + 16
+
+
+class SSTable:
+    """An immutable sorted table backed by one file."""
+
+    def __init__(
+        self,
+        table_id: int,
+        file: SimFile,
+        handles: list[BlockHandle],
+        bloom: BloomFilter,
+        num_records: int,
+    ) -> None:
+        if not handles:
+            raise ReproError("an SSTable must contain at least one block")
+        self.table_id = table_id
+        self.file = file
+        self.handles = handles
+        self.bloom = bloom
+        self.num_records = num_records
+
+    # ------------------------------------------------------------ metadata
+
+    @property
+    def first_key(self) -> bytes:
+        return self.handles[0].first_key
+
+    @property
+    def last_key(self) -> bytes:
+        return self.handles[-1].last_key
+
+    @property
+    def key_range(self) -> KeyRange:
+        return KeyRange(self.first_key, self.last_key + b"\x00")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.file.size
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(h.length for h in self.handles)
+
+    # -------------------------------------------------------------- reads
+
+    def _find_handle(self, key: bytes) -> Optional[BlockHandle]:
+        firsts = [h.first_key for h in self.handles]
+        idx = bisect_right(firsts, key) - 1
+        if idx < 0:
+            return None
+        h = self.handles[idx]
+        return h if key <= h.last_key else None
+
+    def read_block(
+        self,
+        handle: BlockHandle,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache: Optional[LRUCache] = None,
+    ) -> tuple[list[Record], float]:
+        """Read and decode one data block, optionally through the page cache."""
+        cache_key = ("blk", self.file.name, handle.offset)
+        if cache is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached, 0.0
+        raw, service = self.file.read(handle.offset, handle.length, kind)
+        records = decode_block(raw)
+        if cache is not None:
+            cache.put(cache_key, records, charge=handle.length)
+        return records, service
+
+    def get(
+        self,
+        key: bytes,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache: Optional[LRUCache] = None,
+    ) -> tuple[Optional[Record], float]:
+        """Point lookup.  Returns ``(record_or_none, service_time)``."""
+        if key not in self.bloom:
+            return None, 0.0
+        handle = self._find_handle(key)
+        if handle is None:
+            return None, 0.0
+        records, service = self.read_block(handle, kind, cache)
+        lo, hi = 0, len(records) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if records[mid].key == key:
+                return records[mid], service
+            if records[mid].key < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None, service
+
+    def iter_records(
+        self,
+        kind: TrafficKind = TrafficKind.COMPACTION,
+        cache: Optional[LRUCache] = None,
+    ) -> Iterator[Record]:
+        """Sequential scan of every record, charging one pass of read I/O."""
+        for handle in self.handles:
+            records, _ = self.read_block(handle, kind, cache)
+            yield from records
+
+    def iter_from(
+        self,
+        start: bytes,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache: Optional[LRUCache] = None,
+    ) -> Iterator[Record]:
+        """Ordered iteration beginning at the first key >= ``start``."""
+        firsts = [h.first_key for h in self.handles]
+        idx = max(0, bisect_right(firsts, start) - 1)
+        for handle in self.handles[idx:]:
+            if handle.last_key < start:
+                continue
+            records, _ = self.read_block(handle, kind, cache)
+            for rec in records:
+                if rec.key >= start:
+                    yield rec
+
+    def all_keys(self) -> list[bytes]:
+        """Keys visible from the index alone (block boundary keys)."""
+        out = []
+        for h in self.handles:
+            out.append(h.first_key)
+            if h.last_key != h.first_key:
+                out.append(h.last_key)
+        return out
+
+
+class SSTableBuilder:
+    """Streams sorted records into a new table file."""
+
+    def __init__(
+        self,
+        fs: SimFilesystem,
+        table_id: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        write_kind: TrafficKind = TrafficKind.FLUSH,
+        bits_per_key: int = 10,
+    ) -> None:
+        self._fs = fs
+        self._table_id = table_id
+        self._block_size = block_size
+        self._write_kind = write_kind
+        self._bits_per_key = bits_per_key
+        self._file = fs.create(f"sst_{table_id:08d}")
+        self._pending: list[Record] = []
+        self._pending_size = 0
+        self._handles: list[BlockHandle] = []
+        self._keys: list[bytes] = []
+        self._last_key: Optional[bytes] = None
+        self._num_records = 0
+        self._finished = False
+
+    @property
+    def estimated_size(self) -> int:
+        return self._file.size + self._pending_size
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def add(self, rec: Record) -> None:
+        """Append a record; keys must arrive in strictly increasing order."""
+        if self._finished:
+            raise ReproError("builder already finished")
+        if self._last_key is not None and rec.key <= self._last_key:
+            raise ReproError(
+                f"records out of order: {rec.key!r} after {self._last_key!r}"
+            )
+        self._last_key = rec.key
+        self._pending.append(rec)
+        self._pending_size += record_encoded_size(rec)
+        self._keys.append(rec.key)
+        self._num_records += 1
+        if self._pending_size >= self._block_size:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not self._pending:
+            return
+        block = encode_block(self._pending)
+        offset, _ = self._file.append(block, self._write_kind, sequential=True)
+        self._handles.append(
+            BlockHandle(
+                first_key=self._pending[0].key,
+                last_key=self._pending[-1].key,
+                offset=offset,
+                length=len(block),
+                num_records=len(self._pending),
+            )
+        )
+        self._pending = []
+        self._pending_size = 0
+
+    def finish(self) -> SSTable:
+        """Flush remaining records, write metadata + index, return the table."""
+        if self._finished:
+            raise ReproError("builder already finished")
+        self._flush_block()
+        if not self._handles:
+            self._fs.delete(self._file.name)
+            raise ReproError("cannot finish an empty SSTable")
+        self._finished = True
+        bloom = BloomFilter.for_keys(self._keys, self._bits_per_key)
+        meta_size = bloom.size_bytes + sum(h.index_entry_size() for h in self._handles)
+        self._file.append(b"\x00" * meta_size, self._write_kind, sequential=True)
+        return SSTable(self._table_id, self._file, self._handles, bloom, self._num_records)
+
+    def abandon(self) -> None:
+        """Discard the partially built table and free its space."""
+        if not self._finished:
+            self._fs.delete(self._file.name)
+            self._finished = True
+
+
+def build_sstable(
+    fs: SimFilesystem,
+    table_id: int,
+    records: Iterator[Record] | list[Record],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    write_kind: TrafficKind = TrafficKind.FLUSH,
+) -> SSTable:
+    """Convenience wrapper: build a table from an already-sorted record stream."""
+    builder = SSTableBuilder(fs, table_id, block_size, write_kind)
+    for rec in records:
+        builder.add(rec)
+    return builder.finish()

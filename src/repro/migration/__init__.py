@@ -1,0 +1,13 @@
+"""Cross-tier migration (paper §3.5).
+
+Demotion moves cold zones from NVMe to the capacity tier when a partition
+crosses its high watermark, selected by a cost-benefit score (freed bytes per
+read I/O).  Promotion moves hot objects read from SATA back up, staged
+through an in-memory object cache and flushed asynchronously into the hot
+zone with a *promotion* label.
+"""
+
+from repro.migration.scheduler import MigrationScheduler, MigrationStats
+from repro.migration.promotion import PromotionManager
+
+__all__ = ["MigrationScheduler", "MigrationStats", "PromotionManager"]

@@ -1,0 +1,71 @@
+"""Watermark-driven zone demotion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.semi.engine import CapacityTier
+from repro.nvme.partition import Partition
+from repro.nvme.tier import PerformanceTier
+from repro.simssd.traffic import TrafficKind
+
+
+@dataclass
+class MigrationStats:
+    """What migration moved and what it cost."""
+
+    demotion_jobs: int = 0
+    demoted_objects: int = 0
+    demoted_bytes: int = 0
+    promoted_objects: int = 0
+    promoted_bytes: int = 0
+
+
+class MigrationScheduler:
+    """Monitors NVMe capacity and demotes cold zones until the low watermark.
+
+    Each partition has its own background migration job in the paper; the
+    simulation runs them synchronously and lets the device time model account
+    for the bandwidth they consume.
+    """
+
+    def __init__(
+        self,
+        performance_tier: PerformanceTier,
+        capacity_tier: CapacityTier,
+        max_zones_per_job: int = 64,
+    ) -> None:
+        self.performance_tier = performance_tier
+        self.capacity_tier = capacity_tier
+        self.max_zones_per_job = max_zones_per_job
+        self.stats = MigrationStats()
+
+    def run_if_needed(self) -> int:
+        """Demote from every partition above its high watermark.
+
+        Returns the number of zones demoted.
+        """
+        zones = 0
+        for partition in self.performance_tier.partitions:
+            if partition.over_high_watermark():
+                zones += self._demote_partition(partition)
+        return zones
+
+    def _demote_partition(self, partition: Partition) -> int:
+        zones = 0
+        while (
+            not partition.below_low_watermark() and zones < self.max_zones_per_job
+        ):
+            zone = partition.select_demotion_zone()
+            if zone is None:
+                break  # nothing left to demote (e.g. all data in the hot zone)
+            batch, _ = partition.collect_zone(zone, TrafficKind.MIGRATION)
+            if batch:
+                self.capacity_tier.ingest(batch, TrafficKind.MIGRATION)
+                self.stats.demoted_objects += len(batch)
+                self.stats.demoted_bytes += sum(r.encoded_size for r in batch)
+            zones += 1
+            self.stats.demotion_jobs += 1
+            if not batch and zone.object_count == 0 and partition.object_count() == 0:
+                break
+        return zones

@@ -1,0 +1,30 @@
+"""The NVMe performance tier (paper §3.2, §3.6).
+
+A shared-nothing, zone-based object store inspired by KVell:
+
+* the key space is range-partitioned across independent **partitions**;
+* each partition divides its range into **zones** — contiguous key spans
+  sized to the migration batch, so demoting a zone reads few pages and
+  produces a tight key range for the capacity tier's L1 merge;
+* inside a zone, objects live in size-class **slots** packed into 4 KiB
+  pages; small objects update in place;
+* a per-partition **hot zone** (no key-range restriction) parks objects the
+  tracker currently classifies as hot, exempting them from migration.
+"""
+
+from repro.nvme.config import NVMeConfig
+from repro.nvme.pagestore import PageStore
+from repro.nvme.zone import Zone, SlotLocation
+from repro.nvme.partition import Partition
+from repro.nvme.tier import PerformanceTier
+from repro.nvme.checkpoint import PartitionCheckpoint
+
+__all__ = [
+    "NVMeConfig",
+    "PageStore",
+    "Zone",
+    "SlotLocation",
+    "Partition",
+    "PerformanceTier",
+    "PartitionCheckpoint",
+]

@@ -1,0 +1,193 @@
+"""Index checkpointing for the NVMe tier (paper §3.1).
+
+The partition's B-tree index is an in-memory structure; the paper keeps "a
+backup of the index and metadata" on NVMe so a restart doesn't need to scan
+the data pages.  A checkpoint serializes every index entry — key, slot
+location, sizes, seqno, promotion flag — plus the zone table into dedicated
+NVMe pages (charged like any other write).  Recovery reads those pages back
+and reconstructs the index, the zones, and their slot-occupancy maps.
+
+Durability semantics: a checkpoint captures the partition at one instant;
+writes after the last checkpoint are not recovered (the engine checkpoints
+at shutdown via :meth:`repro.core.hyperdb.HyperDB.finalize`; a production
+system would pair this with the data pages' self-describing headers, which
+the simulation omits).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.common.errors import CorruptionError, ReproError
+from repro.common.keys import KeyRange
+from repro.nvme.zone import SlotLocation, Zone, _ZonePage
+from repro.simssd.traffic import TrafficKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nvme.partition import Partition
+
+_MAGIC = 0xC4EC
+_HEADER = struct.Struct(">HHII")          # magic, zone_count, entry_count, reserved
+_ZONE_REC = struct.Struct(">QB")          # zone_id, has_range flag (+ lo/hi keys)
+_ENTRY = struct.Struct(">HQQIIIQB")       # klen, zone_id, page_id, slot, slot_sz, rec_sz, seqno, flags
+
+
+def _encode_key_field(key: bytes) -> bytes:
+    return struct.pack(">H", len(key)) + key
+
+
+class PartitionCheckpoint:
+    """Serialize / restore one partition's index and zone table."""
+
+    @staticmethod
+    def serialize(partition: "Partition") -> bytes:
+        zones = [partition.hot_zone] + partition.zones()
+        entries = list(partition.index.items())
+        out = [_HEADER.pack(_MAGIC, len(zones), len(entries), 0)]
+        for zone in zones:
+            has_range = 0 if zone.key_range is None else 1
+            out.append(_ZONE_REC.pack(zone.zone_id, has_range))
+            if has_range:
+                out.append(_encode_key_field(zone.key_range.lo))
+                out.append(_encode_key_field(zone.key_range.hi or b""))
+        for key, loc in entries:
+            out.append(
+                _ENTRY.pack(
+                    len(key),
+                    loc.zone_id,
+                    loc.page_id,
+                    loc.slot_index,
+                    loc.slot_size,
+                    loc.record_size,
+                    loc.seqno,
+                    1 if loc.promoted else 0,
+                )
+            )
+            out.append(key)
+        return b"".join(out)
+
+    @staticmethod
+    def write(partition: "Partition") -> float:
+        """Persist a checkpoint into NVMe pages; returns the service time.
+
+        The previous checkpoint's pages are released first.
+        """
+        payload = PartitionCheckpoint.serialize(partition)
+        store = partition.page_store
+        # Release the previous checkpoint.
+        for pid in partition._checkpoint_pages:
+            store.free(pid)
+        npages = max(1, -(-len(payload) // store.page_size))
+        pages = store.allocate(npages)
+        service = 0.0
+        for i, pid in enumerate(pages):
+            chunk = payload[i * store.page_size : (i + 1) * store.page_size]
+            service += store.write(pid, 0, chunk, TrafficKind.GC)
+        partition._checkpoint_pages = pages
+        partition._checkpoint_len = len(payload)
+        return service
+
+    @staticmethod
+    def recover(partition: "Partition") -> float:
+        """Rebuild the partition's in-memory state from its checkpoint.
+
+        Reads the checkpoint pages (charged), then reconstructs the B-tree
+        index, the zone table, and every zone's page/slot occupancy.
+        Returns the service time.
+        """
+        if not partition._checkpoint_pages:
+            raise ReproError(
+                f"partition {partition.partition_id} has no checkpoint"
+            )
+        store = partition.page_store
+        service = 0.0
+        chunks = []
+        for pid in partition._checkpoint_pages:
+            data, s = store.read(pid, TrafficKind.FOREGROUND)
+            service += s
+            chunks.append(data)
+        payload = b"".join(chunks)[: partition._checkpoint_len]
+
+        magic, zone_count, entry_count, _ = _HEADER.unpack_from(payload, 0)
+        if magic != _MAGIC:
+            raise CorruptionError("bad checkpoint magic")
+        pos = _HEADER.size
+
+        # --- zone table -------------------------------------------------
+        zones: dict[int, Zone] = {}
+        ordered_regular: list[Zone] = []
+        hot_zone: Zone | None = None
+        for _ in range(zone_count):
+            zone_id, has_range = _ZONE_REC.unpack_from(payload, pos)
+            pos += _ZONE_REC.size
+            key_range = None
+            if has_range:
+                (klen,) = struct.unpack_from(">H", payload, pos)
+                pos += 2
+                lo = payload[pos : pos + klen]
+                pos += klen
+                (klen,) = struct.unpack_from(">H", payload, pos)
+                pos += 2
+                hi = payload[pos : pos + klen] or None
+                pos += klen
+                key_range = KeyRange(lo, hi)
+            zone = Zone(zone_id, key_range, store)
+            zones[zone_id] = zone
+            if key_range is None:
+                hot_zone = zone
+            else:
+                ordered_regular.append(zone)
+        if hot_zone is None:
+            raise CorruptionError("checkpoint lacks a hot zone")
+
+        # --- index entries ------------------------------------------------
+        partition.index = type(partition.index)(order=64)
+        pages_seen: dict[tuple[int, int], _ZonePage] = {}
+        for _ in range(entry_count):
+            klen, zone_id, page_id, slot, slot_sz, rec_sz, seqno, flags = (
+                _ENTRY.unpack_from(payload, pos)
+            )
+            pos += _ENTRY.size
+            key = payload[pos : pos + klen]
+            pos += klen
+            zone = zones.get(zone_id)
+            if zone is None:
+                raise CorruptionError(f"entry references unknown zone {zone_id}")
+            loc = SlotLocation(
+                zone_id=zone_id,
+                page_id=page_id,
+                slot_index=slot,
+                slot_size=slot_sz,
+                record_size=rec_sz,
+                seqno=seqno,
+                promoted=bool(flags & 1),
+            )
+            partition.index.insert(key, loc)
+            zone.keys[key] = None
+            zone.used_bytes += rec_sz
+            zp = pages_seen.get((zone_id, page_id))
+            if zp is None:
+                nslots = max(1, store.page_size // slot_sz)
+                zp = _ZonePage(
+                    page_id=page_id,
+                    slot_size=slot_sz,
+                    num_slots=nslots,
+                    free_slots=list(range(nslots)),
+                )
+                pages_seen[(zone_id, page_id)] = zp
+                zone._pages[page_id] = zp
+            if slot in zp.free_slots:
+                zp.free_slots.remove(slot)
+            zp.used += 1
+
+        # Re-open pages with spare slots for future allocation.
+        for (zone_id, _pid), zp in pages_seen.items():
+            if zp.free_slots:
+                zones[zone_id]._open.setdefault(zp.slot_size, []).append(zp)
+
+        ordered_regular.sort(key=lambda z: z.key_range.lo)
+        partition._zones = ordered_regular
+        partition._zone_bounds = [z.key_range.lo for z in ordered_regular]
+        partition.hot_zone = hot_zone
+        return service

@@ -1,0 +1,435 @@
+"""A shared-nothing partition of the NVMe tier (paper §3.1, §3.6).
+
+Each partition owns a contiguous slice of the key space, its own B-tree
+index, its own zones (plus one hot zone), its own hotness tracker, and a
+page budget (its share of the device).  Partitions never touch each other's
+state, so the design scales without lock contention — here that translates
+to per-partition accounting the harness can parallelize conceptually.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+from repro.common.btree import BTreeIndex
+from repro.common.errors import ReproError
+from repro.common.keys import KeyRange
+from repro.common.records import Record
+from repro.hotness.tracker import HotnessTracker
+from repro.lsm.blocks import decode_records
+from repro.nvme.config import NVMeConfig
+from repro.nvme.pagestore import PageStore
+from repro.nvme.zone import SlotLocation, Zone
+from repro.simssd.traffic import TrafficKind
+
+
+class Partition:
+    """One independent slice of the performance tier."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        key_range: KeyRange,
+        page_store: PageStore,
+        config: NVMeConfig,
+        page_budget: int,
+        cache=None,
+    ) -> None:
+        if key_range.hi is None:
+            raise ReproError("partition ranges must be bounded")
+        self.partition_id = partition_id
+        self.key_range = key_range
+        self.page_store = page_store
+        self.config = config
+        self.page_budget = page_budget
+        self.cache = cache
+        self.index = BTreeIndex(order=64)
+        self._zone_seq = 0
+
+        # Capacity-derived tracker window (§3.3): the number of objects this
+        # partition can hold.  Starts from the smallest slot class and is
+        # re-derived from the measured average object size (Eq. 1) once
+        # enough writes have been observed.
+        self.tracker = self._make_tracker(max(64, config.slot_classes[0]))
+        self._tracker_calibrated = False
+
+        #: Ordered regular zones: ``_zone_bounds[i]`` is the lower bound of
+        #: ``_zones[i]``; ranges tile the partition's key range.
+        self._zones: list[Zone] = []
+        self._zone_bounds: list[bytes] = []
+        self._init_zones()
+        self.hot_zone = self._new_zone(None)
+
+        # Eq. 1 inputs: running totals of slot-file bytes and object counts.
+        self._written_bytes = 0
+        self._written_objects = 0
+        self.allocated_pages = 0  # pages owned by this partition's zones
+
+        # Index-backup checkpoint state (§3.1); see nvme/checkpoint.py.
+        self._checkpoint_pages: list[int] = []
+        self._checkpoint_len = 0
+
+    def _make_tracker(self, avg_object_size: float) -> HotnessTracker:
+        capacity_objects = max(
+            1,
+            int(self.page_budget * self.page_store.page_size / max(1.0, avg_object_size)),
+        )
+        # The chain of filters jointly spans the interval threshold (§3.3:
+        # "the number of objects that NVMe storage can store"), so each
+        # window covers 1/max_filters of it.
+        window = max(1, capacity_objects // self.config.tracker_max_filters)
+        return HotnessTracker(
+            window,
+            max_filters=self.config.tracker_max_filters,
+            hot_threshold=self.config.tracker_hot_threshold,
+            bits_per_key=self.config.tracker_bits_per_key,
+        )
+
+    def _maybe_calibrate_tracker(self) -> None:
+        """Re-size the discriminator window once Eq. 1 has a stable estimate."""
+        if self._tracker_calibrated or self._written_objects < 512:
+            return
+        measured = self.average_object_size()
+        current = self.tracker.discriminator.window_capacity
+        target = max(
+            1, int(self.page_budget * self.page_store.page_size / measured)
+        )
+        if not 0.5 <= target / max(1, current) <= 2.0:
+            self.tracker = self._make_tracker(measured)
+        self._tracker_calibrated = True
+
+    # --------------------------------------------------------------- zones
+
+    def _init_zones(self) -> None:
+        import numpy as np
+
+        from repro.common.keys import decode_key, encode_key
+
+        n = max(1, self.config.initial_zones_per_partition)
+        lo = decode_key(self.key_range.lo)
+        hi = decode_key(self.key_range.hi)
+        step = (hi - lo) / n
+        bounds = [lo + int(i * step) for i in range(n)]
+        for i, b in enumerate(bounds):
+            zlo = self.key_range.lo if i == 0 else encode_key(b)
+            zhi = encode_key(bounds[i + 1]) if i + 1 < n else self.key_range.hi
+            zone = self._new_zone(KeyRange(zlo, zhi))
+            self._zones.append(zone)
+            self._zone_bounds.append(zlo)
+
+    def _new_zone(self, key_range: Optional[KeyRange]) -> Zone:
+        self._zone_seq += 1
+        zone_id = self.partition_id * 1_000_000 + self._zone_seq
+        return Zone(zone_id, key_range, self.page_store)
+
+    def zone_for_key(self, key: bytes) -> Zone:
+        """The regular zone whose range contains ``key``."""
+        if not self.key_range.contains(key):
+            raise ReproError(
+                f"key {key!r} outside partition {self.partition_id} range"
+            )
+        idx = bisect_right(self._zone_bounds, key) - 1
+        return self._zones[idx]
+
+    def zones(self) -> list[Zone]:
+        return list(self._zones)
+
+    # ------------------------------------------------------ Eq. 1 / Eq. 2
+
+    def average_object_size(self) -> float:
+        """Eq. 1: mean on-media object size over all slot files."""
+        if self._written_objects == 0:
+            return float(self.config.slot_classes[0])
+        return self._written_bytes / self._written_objects
+
+    def zone_target_objects(self) -> int:
+        """Eq. 2: R = B / O — objects a migration-batch-sized zone holds."""
+        return max(1, int(self.config.migration_batch_bytes / self.average_object_size()))
+
+    # -------------------------------------------------------------- space
+
+    @property
+    def used_pages(self) -> int:
+        return self.hot_zone.total_pages() + sum(z.total_pages() for z in self._zones)
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.used_pages / self.page_budget if self.page_budget else 1.0
+
+    def over_high_watermark(self) -> bool:
+        return self.fill_fraction >= self.config.high_watermark
+
+    def below_low_watermark(self) -> bool:
+        return self.fill_fraction <= self.config.low_watermark
+
+    def object_count(self) -> int:
+        return len(self.index)
+
+    def used_bytes(self) -> int:
+        return self.hot_zone.used_bytes + sum(z.used_bytes for z in self._zones)
+
+    # -------------------------------------------------------------- writes
+
+    def put(
+        self, rec: Record, kind: TrafficKind = TrafficKind.FOREGROUND
+    ) -> float:
+        """Insert or update an object.  Returns the service time charged."""
+        self.tracker.record_access(rec.key)
+        service = 0.0
+        loc: Optional[SlotLocation] = self.index.get(rec.key)
+        needed = rec.encoded_size
+        if loc is not None and needed <= loc.slot_size:
+            zone = self._zone_by_id(loc.zone_id)
+            new_loc, s = zone.update_in_place(loc, rec, kind, self.cache)
+            # An updated object diverges from its SATA copy: it can no longer
+            # be dropped on eviction, so the promotion label is cleared.
+            new_loc.promoted = False
+            self.index.insert(rec.key, new_loc)
+            self._written_bytes += needed
+            self._written_objects += 1
+            return s
+        # New object, or resized: new slot, tombstone at the old location.
+        if loc is not None:
+            old_zone = self._zone_by_id(loc.zone_id)
+            service += old_zone.write_tombstone(loc, kind, self.cache)
+            old_zone.remove_object(rec.key, loc)
+        zone = self.zone_for_key(rec.key)
+        slot_size = self.config.slot_class_for(needed)
+        new_loc, s = zone.write_record(rec, slot_size, kind, self.cache)
+        service += s
+        self.index.insert(rec.key, new_loc)
+        self._written_bytes += needed
+        self._written_objects += 1
+        self._maybe_calibrate_tracker()
+        self._maybe_split_zone(zone)
+        return service
+
+    def delete(self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND) -> float:
+        """Remove an object (tombstone the slot, drop the index entry)."""
+        loc: Optional[SlotLocation] = self.index.get(key)
+        if loc is None:
+            return 0.0
+        zone = self._zone_by_id(loc.zone_id)
+        service = zone.write_tombstone(loc, kind, self.cache)
+        zone.remove_object(key, loc)
+        self.index.delete(key)
+        return service
+
+    def _zone_by_id(self, zone_id: int) -> Zone:
+        if zone_id == self.hot_zone.zone_id:
+            return self.hot_zone
+        for z in self._zones:
+            if z.zone_id == zone_id:
+                return z
+        raise ReproError(f"zone {zone_id} not found in partition {self.partition_id}")
+
+    # --------------------------------------------------------------- reads
+
+    def get(
+        self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND
+    ) -> tuple[Optional[Record], float]:
+        """Point lookup.  Returns ``(record_or_none, service_time)``."""
+        self.tracker.record_access(key)
+        loc: Optional[SlotLocation] = self.index.get(key)
+        if loc is None:
+            return None, 0.0
+        zone = self._zone_by_id(loc.zone_id)
+        rec, service = zone.read_object(loc, kind, self.cache)
+        return rec, service
+
+    def contains(self, key: bytes) -> bool:
+        return key in self.index
+
+    def keys_in_range(self, start: bytes, end: Optional[bytes]) -> list[bytes]:
+        """Index-only ordered key listing (used by scans)."""
+        return [k for k, _ in self.index.items(start=start, end=end)]
+
+    # ---------------------------------------------------------- promotion
+
+    def promote(self, rec: Record, kind: TrafficKind = TrafficKind.MIGRATION) -> float:
+        """Install a hot object read from the capacity tier into the hot zone.
+
+        The object is flagged ``promoted``: the authoritative copy stays in
+        SATA, so hot-zone eviction can drop it without relocation (§3.5).
+        """
+        existing: Optional[SlotLocation] = self.index.get(rec.key)
+        if existing is not None:
+            return 0.0  # already resident
+        slot_size = self.config.slot_class_for(rec.encoded_size)
+        loc, service = self.hot_zone.write_record(
+            rec, slot_size, kind, self.cache, promoted=True
+        )
+        self.index.insert(rec.key, loc)
+        self._written_bytes += rec.encoded_size
+        self._written_objects += 1
+        service += self._evict_hot_zone_if_needed(kind)
+        return service
+
+    def _hot_zone_page_budget(self) -> int:
+        """The hot zone may grow into whatever the regular zones don't use
+        (up to the high watermark), but always keeps its reserved fraction.
+        Promotions thus displace cold zones — via demotion — instead of
+        being capped while the fast tier idles (§3.5 read-heavy flow)."""
+        reserve = max(1, int(self.page_budget * self.config.hot_zone_fraction))
+        regular = self.used_pages - self.hot_zone.total_pages()
+        headroom = int(self.page_budget * self.config.high_watermark) - regular
+        return max(reserve, headroom)
+
+    def _evict_hot_zone_if_needed(
+        self, kind: TrafficKind, max_scan: int = 128
+    ) -> float:
+        """Shed non-hot hot-zone residents, FIFO-clock style.
+
+        Work per call is bounded: at most ``max_scan`` keys are examined,
+        oldest first; still-hot keys are rotated to the back (a second
+        chance), so repeated calls make progress without rescanning the
+        whole zone each time.
+        """
+        service = 0.0
+        budget = self._hot_zone_page_budget()
+        if self.hot_zone.total_pages() <= budget:
+            return service
+        scanned = 0
+        keys = self.hot_zone.keys
+        while keys and scanned < max_scan:
+            if self.hot_zone.total_pages() <= budget:
+                break
+            key = next(iter(keys))
+            scanned += 1
+            loc: SlotLocation = self.index.get(key)
+            if loc is None or loc.zone_id != self.hot_zone.zone_id:
+                keys.pop(key, None)
+                continue
+            if self.tracker.is_hot(key):
+                # Second chance: rotate to the back of the scan order.
+                keys.pop(key, None)
+                keys[key] = None
+                continue
+            if loc.promoted:
+                # SATA still holds the object: drop without relocation.
+                self.hot_zone.remove_object(key, loc)
+                self.index.delete(key)
+            else:
+                rec, s_read = self.hot_zone.read_object(loc, kind, self.cache)
+                service += s_read
+                self.hot_zone.remove_object(key, loc)
+                zone = self.zone_for_key(key)
+                slot_size = self.config.slot_class_for(rec.encoded_size)
+                new_loc, s_write = zone.write_record(rec, slot_size, kind, self.cache)
+                service += s_write
+                self.index.insert(key, new_loc)
+        return service
+
+    def park_in_hot_zone(self, rec: Record, loc: SlotLocation, kind: TrafficKind) -> float:
+        """Relocate an NVMe-resident hot object into the hot zone (used when
+        its regular zone is being demoted)."""
+        self._zone_by_id(loc.zone_id).remove_object(rec.key, loc)
+        slot_size = self.config.slot_class_for(rec.encoded_size)
+        new_loc, service = self.hot_zone.write_record(
+            rec, slot_size, kind, self.cache, promoted=loc.promoted
+        )
+        self.index.insert(rec.key, new_loc)
+        return service
+
+    # ----------------------------------------------------------- demotion
+
+    def select_demotion_zone(self) -> Optional[Zone]:
+        """Highest benefit/cost zone (§3.5)."""
+        candidates = [z for z in self._zones if z.object_count > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda z: z.demotion_score())
+
+    def collect_zone(
+        self, zone: Zone, kind: TrafficKind = TrafficKind.MIGRATION
+    ) -> tuple[list[Record], float]:
+        """Read a zone's pages and extract its objects for demotion.
+
+        Hot objects are parked in the hot zone instead of being returned
+        (§3.2: "HyperDB does not migrate frequently accessed data").
+        The zone's pages are freed and its read counter reset.
+        """
+        page_ids = zone.page_ids()
+        _, service = self.page_store.read_many(page_ids, kind)
+        demoted: list[Record] = []
+        for key in sorted(zone.keys):
+            loc: SlotLocation = self.index.get(key)
+            if loc is None or loc.zone_id != zone.zone_id:
+                continue
+            raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
+            (rec,) = decode_records(raw)
+            rec = Record(key, rec.value, rec.seqno)
+            # Hot objects are parked rather than demoted, but only while the
+            # hot zone has budget — otherwise they migrate like anything else.
+            if (
+                self.tracker.is_hot(key)
+                and self.hot_zone.total_pages() < self._hot_zone_page_budget()
+            ):
+                service += self.park_in_hot_zone(rec, loc, kind)
+                continue
+            zone.remove_object(key, loc)
+            self.index.delete(key)
+            demoted.append(rec)
+        zone.reset_read_counter()
+        return demoted, service
+
+    # --------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> float:
+        """Persist the index backup to NVMe (§3.1).  Returns service time."""
+        from repro.nvme.checkpoint import PartitionCheckpoint
+
+        return PartitionCheckpoint.write(self)
+
+    def recover(self) -> float:
+        """Rebuild in-memory index/zones from the last checkpoint.
+
+        Limitations (documented in :mod:`repro.nvme.checkpoint`): writes
+        after the last checkpoint are lost, and continuation pages of
+        oversized (multi-page) slots are not re-tracked.
+        """
+        from repro.nvme.checkpoint import PartitionCheckpoint
+
+        return PartitionCheckpoint.recover(self)
+
+    # ------------------------------------------------------- zone rebuild
+
+    def _maybe_split_zone(self, zone: Zone) -> None:
+        """Rebuild an oversized zone into two (§3.2 periodic re-sizing).
+
+        Splitting physically resettles the zone's objects so each new zone's
+        pages contain only its own range — charged as GC traffic.
+        """
+        limit = int(self.zone_target_objects() * self.config.zone_split_factor)
+        if zone.is_hot_zone or zone.object_count <= max(limit, 8):
+            return
+        # Resettling transiently needs fresh pages while the old zone still
+        # holds its own; without headroom the split waits for migration.
+        if self.page_store.device.free_pages < zone.total_pages() + 2:
+            return
+        keys = sorted(zone.keys)
+        median = keys[len(keys) // 2]
+        if median == zone.key_range.lo:
+            return  # degenerate: all keys equal
+        idx = self._zones.index(zone)
+        left = self._new_zone(KeyRange(zone.key_range.lo, median))
+        right = self._new_zone(KeyRange(median, zone.key_range.hi))
+
+        # Resettle: one bulk read of the old zone, rewrites into the halves.
+        self.page_store.read_many(zone.page_ids(), TrafficKind.GC)
+        for key in keys:
+            loc: SlotLocation = self.index.get(key)
+            if loc is None or loc.zone_id != zone.zone_id:
+                continue
+            raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
+            (rec,) = decode_records(raw)
+            rec = Record(key, rec.value, rec.seqno)
+            target = left if key < median else right
+            zone.remove_object(key, loc)
+            new_loc, _ = target.write_record(
+                rec, loc.slot_size, TrafficKind.GC, self.cache, promoted=loc.promoted
+            )
+            self.index.insert(key, new_loc)
+        self._zones[idx : idx + 1] = [left, right]
+        self._zone_bounds[idx : idx + 1] = [left.key_range.lo, median]

@@ -1,0 +1,269 @@
+"""Zones: contiguous-key-range object containers on NVMe (paper §3.2).
+
+A zone stores objects whose keys fall inside its range, packed into
+size-class slots within pages.  Zones are the unit of migration: demoting a
+zone reads its pages (few, thanks to the size-class packing) and yields a
+batch with a tight key range for the capacity tier's L1 merge.
+
+The hot zone is a zone with ``key_range=None`` — no range restriction —
+holding objects the tracker currently classifies as hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ReproError
+from repro.common.keys import KeyRange
+from repro.common.records import Record
+from repro.lsm.blocks import decode_records, encode_record
+from repro.nvme.pagestore import PageStore
+from repro.simssd.traffic import TrafficKind
+
+
+@dataclass(slots=True)
+class SlotLocation:
+    """Where one object lives: a slot of a page owned by a zone."""
+
+    zone_id: int
+    page_id: int
+    slot_index: int
+    slot_size: int
+    record_size: int
+    seqno: int
+    promoted: bool = False
+
+    @property
+    def offset(self) -> int:
+        return self.slot_index * self.slot_size
+
+
+@dataclass(slots=True)
+class _ZonePage:
+    page_id: int
+    slot_size: int
+    num_slots: int
+    free_slots: list[int] = field(default_factory=list)
+    used: int = 0
+    #: Continuation pages of an oversized (multi-page) slot.
+    extra_pages: list[int] = field(default_factory=list)
+
+    @property
+    def total_pages(self) -> int:
+        return 1 + len(self.extra_pages)
+
+
+class Zone:
+    """One key-range container of slotted pages."""
+
+    def __init__(
+        self,
+        zone_id: int,
+        key_range: Optional[KeyRange],
+        page_store: PageStore,
+    ) -> None:
+        self.zone_id = zone_id
+        self.key_range = key_range
+        self.page_store = page_store
+        self._pages: dict[int, _ZonePage] = {}
+        self._open: dict[int, list[_ZonePage]] = {}  # slot_size -> pages w/ space
+        #: Insertion-ordered key set (dict-as-ordered-set): hot-zone eviction
+        #: scans it FIFO with bounded work per call.
+        self.keys: dict[bytes, None] = {}
+        self.used_bytes = 0
+        self.read_ios = 0  # foreground reads since last migration (cost/benefit)
+
+    # ----------------------------------------------------------- geometry
+
+    @property
+    def is_hot_zone(self) -> bool:
+        return self.key_range is None
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def object_count(self) -> int:
+        return len(self.keys)
+
+    def accepts(self, key: bytes) -> bool:
+        return self.key_range is None or self.key_range.contains(key)
+
+    def page_ids(self) -> list[int]:
+        return list(self._pages)
+
+    def total_pages(self) -> int:
+        """Pages this zone occupies, counting oversized-slot continuations."""
+        return sum(zp.total_pages for zp in self._pages.values())
+
+    # ----------------------------------------------------------- allocate
+
+    def _slots_per_page(self, slot_size: int) -> int:
+        return max(1, self.page_store.page_size // slot_size)
+
+    def allocate_slot(self, slot_size: int) -> tuple[int, int]:
+        """Reserve a slot; allocates a fresh page when none is open.
+
+        Returns ``(page_id, slot_index)``.
+        """
+        open_pages = self._open.setdefault(slot_size, [])
+        while open_pages:
+            zp = open_pages[-1]
+            if zp.free_slots:
+                slot = zp.free_slots.pop()
+                zp.used += 1
+                if not zp.free_slots:
+                    open_pages.pop()
+                return zp.page_id, slot
+            open_pages.pop()
+        pages_needed = -(-slot_size // self.page_store.page_size)
+        (pid, *extra) = self.page_store.allocate(pages_needed)
+        nslots = self._slots_per_page(slot_size)
+        zp = _ZonePage(
+            page_id=pid,
+            slot_size=slot_size,
+            num_slots=nslots,
+            free_slots=list(range(nslots - 1, 0, -1)),
+            extra_pages=extra,
+        )
+        zp.used = 1
+        self._pages[pid] = zp
+        if zp.free_slots:
+            self._open.setdefault(slot_size, []).append(zp)
+        return pid, 0
+
+    def free_slot(self, loc: SlotLocation) -> None:
+        zp = self._pages.get(loc.page_id)
+        if zp is None:
+            raise ReproError(f"slot free on page {loc.page_id} not in zone {self.zone_id}")
+        zp.used -= 1
+        if zp.used <= 0:
+            self._release_page(zp)
+        else:
+            zp.free_slots.append(loc.slot_index)
+            open_pages = self._open.setdefault(loc.slot_size, [])
+            if zp not in open_pages:
+                open_pages.append(zp)
+
+    def _release_page(self, zp: _ZonePage) -> None:
+        del self._pages[zp.page_id]
+        open_pages = self._open.get(zp.slot_size)
+        if open_pages and zp in open_pages:
+            open_pages.remove(zp)
+        self.page_store.free(zp.page_id)
+        for extra in zp.extra_pages:
+            self.page_store.free(extra)
+
+    # ---------------------------------------------------------------- I/O
+
+    def write_record(
+        self,
+        rec: Record,
+        slot_size: int,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache=None,
+        promoted: bool = False,
+    ) -> tuple[SlotLocation, float]:
+        """Place ``rec`` into a fresh ``slot_size`` slot and write the page."""
+        if not self.accepts(rec.key):
+            raise ReproError(f"key {rec.key!r} outside zone {self.zone_id} range")
+        payload = encode_record(rec)
+        if len(payload) > slot_size:
+            raise ReproError(
+                f"record of {len(payload)}B does not fit slot class {slot_size}"
+            )
+        page_id, slot_index = self.allocate_slot(slot_size)
+        loc = SlotLocation(
+            zone_id=self.zone_id,
+            page_id=page_id,
+            slot_index=slot_index,
+            slot_size=slot_size,
+            record_size=len(payload),
+            seqno=rec.seqno,
+            promoted=promoted,
+        )
+        npages = -(-slot_size // self.page_store.page_size)
+        service = self.page_store.write(
+            page_id, loc.offset, payload, kind, cache, npages=npages
+        )
+        self.keys[rec.key] = None
+        self.used_bytes += len(payload)
+        return loc, service
+
+    def update_in_place(
+        self,
+        loc: SlotLocation,
+        rec: Record,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache=None,
+    ) -> tuple[SlotLocation, float]:
+        """Overwrite an object inside its existing slot (§3.2: small objects
+        update in place)."""
+        payload = encode_record(rec)
+        if len(payload) > loc.slot_size:
+            raise ReproError("in-place update does not fit the slot")
+        npages = -(-loc.slot_size // self.page_store.page_size)
+        service = self.page_store.write(
+            loc.page_id, loc.offset, payload, kind, cache, npages=npages
+        )
+        self.used_bytes += len(payload) - loc.record_size
+        new_loc = SlotLocation(
+            zone_id=loc.zone_id,
+            page_id=loc.page_id,
+            slot_index=loc.slot_index,
+            slot_size=loc.slot_size,
+            record_size=len(payload),
+            seqno=rec.seqno,
+            promoted=loc.promoted,
+        )
+        return new_loc, service
+
+    def read_object(
+        self,
+        loc: SlotLocation,
+        kind: TrafficKind = TrafficKind.FOREGROUND,
+        cache=None,
+    ) -> tuple[Record, float]:
+        """Read one object's page and decode the record in its slot."""
+        npages = -(-loc.slot_size // self.page_store.page_size)
+        data, service = self.page_store.read(loc.page_id, kind, cache, npages=npages)
+        chunk = data[loc.offset : loc.offset + loc.record_size]
+        records = list(decode_records(chunk))
+        if not records:
+            raise ReproError(
+                f"no record decoded at page {loc.page_id} slot {loc.slot_index}"
+            )
+        self.read_ios += 1
+        return records[0], service
+
+    def remove_object(self, key: bytes, loc: SlotLocation) -> None:
+        """Drop an object (after migration or relocation)."""
+        self.keys.pop(key, None)
+        self.used_bytes -= loc.record_size
+        self.free_slot(loc)
+
+    def write_tombstone(
+        self, loc: SlotLocation, kind: TrafficKind = TrafficKind.FOREGROUND, cache=None
+    ) -> float:
+        """Mark the original slot of a relocated/resized object (§3.2)."""
+        marker = encode_record(Record.tombstone(b"", loc.seqno))[: loc.slot_size]
+        return self.page_store.write(loc.page_id, loc.offset, marker, kind, cache)
+
+    # ------------------------------------------------------------ metrics
+
+    def demotion_score(self) -> float:
+        """Cost-benefit metric (§3.5): freed bytes per read I/O.
+
+        Cost is the page reads needed to collect the zone; zones that served
+        many recent foreground reads are penalized (they are likely to be
+        read again, and their counter resets only at migration).
+        """
+        if not self._pages:
+            return 0.0
+        cost = self.total_pages() + self.read_ios
+        return self.used_bytes / cost
+
+    def reset_read_counter(self) -> None:
+        self.read_ios = 0

@@ -1,0 +1,25 @@
+"""Simulated heterogeneous SSD storage.
+
+This package replaces the paper's physical Samsung PM9A3 (NVMe) and Intel
+D3-S4610 (SATA) devices with page-granularity simulated devices.  Every I/O
+is charged a service time from a calibrated cost model and tagged with a
+traffic category, so the harness can reproduce the paper's bandwidth-
+utilization, background-traffic, and throughput results in *simulated time*
+while remaining fast enough to run in pure Python.
+"""
+
+from repro.simssd.profiles import DeviceProfile, NVME_PROFILE, SATA_PROFILE
+from repro.simssd.traffic import TrafficKind, TrafficStats
+from repro.simssd.device import SimDevice
+from repro.simssd.fs import SimFile, SimFilesystem
+
+__all__ = [
+    "DeviceProfile",
+    "NVME_PROFILE",
+    "SATA_PROFILE",
+    "TrafficKind",
+    "TrafficStats",
+    "SimDevice",
+    "SimFile",
+    "SimFilesystem",
+]

@@ -1,0 +1,131 @@
+"""The simulated SSD device.
+
+A :class:`SimDevice` owns a page allocator and a traffic ledger.  It does not
+store data itself — :class:`repro.simssd.fs.SimFilesystem` layers named files
+with page payloads on top — but every page read/write/trim flows through the
+device so that capacity and service-time accounting is exact.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CapacityError
+from repro.simssd.profiles import DeviceProfile
+from repro.simssd.traffic import TrafficKind, TrafficStats
+
+
+class SimDevice:
+    """A page-granularity simulated SSD.
+
+    Parameters
+    ----------
+    profile:
+        The cost model and geometry for this device.
+    """
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        self.profile = profile
+        self.traffic = TrafficStats()
+        self._allocated_pages = 0
+
+    # -------------------------------------------------------------- space
+
+    @property
+    def page_size(self) -> int:
+        return self.profile.page_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.profile.capacity_bytes
+
+    @property
+    def allocated_pages(self) -> int:
+        return self._allocated_pages
+
+    @property
+    def used_bytes(self) -> int:
+        return self._allocated_pages * self.page_size
+
+    @property
+    def free_pages(self) -> int:
+        return self.profile.num_pages - self._allocated_pages
+
+    @property
+    def fill_fraction(self) -> float:
+        return self._allocated_pages / self.profile.num_pages
+
+    def allocate(self, num_pages: int) -> None:
+        """Reserve pages.  Raises :class:`CapacityError` when the device is full."""
+        if num_pages < 0:
+            raise ValueError(f"num_pages must be non-negative, got {num_pages}")
+        if self._allocated_pages + num_pages > self.profile.num_pages:
+            raise CapacityError(
+                f"device {self.profile.name!r} full: "
+                f"{self._allocated_pages}+{num_pages} > {self.profile.num_pages} pages"
+            )
+        self._allocated_pages += num_pages
+
+    def trim(self, num_pages: int) -> None:
+        """Release pages back to the free pool."""
+        if num_pages < 0 or num_pages > self._allocated_pages:
+            raise ValueError(
+                f"cannot trim {num_pages} pages, {self._allocated_pages} allocated"
+            )
+        self._allocated_pages -= num_pages
+
+    # ---------------------------------------------------------------- I/O
+
+    def read_pages(
+        self, num_pages: int, kind: TrafficKind, sequential: bool = False
+    ) -> float:
+        """Charge a read of ``num_pages`` pages; returns the service time."""
+        if num_pages <= 0:
+            return 0.0
+        ios = 1 if sequential else num_pages
+        latency = ios * self.profile.read_latency_s
+        transfer = num_pages * self.page_size / self.profile.read_bandwidth
+        self.traffic.note_read(kind, num_pages * self.page_size, ios, latency, transfer)
+        return latency + transfer
+
+    def write_pages(
+        self, num_pages: int, kind: TrafficKind, sequential: bool = True
+    ) -> float:
+        """Charge a write of ``num_pages`` pages; returns the service time."""
+        if num_pages <= 0:
+            return 0.0
+        ios = 1 if sequential else num_pages
+        latency = ios * self.profile.write_latency_s
+        transfer = num_pages * self.page_size / self.profile.write_bandwidth
+        self.traffic.note_write(kind, num_pages * self.page_size, ios, latency, transfer)
+        return latency + transfer
+
+    def write_bytes_io(
+        self, nbytes: int, kind: TrafficKind, sequential: bool = True
+    ) -> float:
+        """Charge a write of ``nbytes`` rounded up to whole pages."""
+        pages = -(-nbytes // self.page_size)
+        return self.write_pages(pages, kind, sequential)
+
+    def read_bytes_io(
+        self, nbytes: int, kind: TrafficKind, sequential: bool = False
+    ) -> float:
+        """Charge a read of ``nbytes`` rounded up to whole pages."""
+        pages = -(-nbytes // self.page_size)
+        return self.read_pages(pages, kind, sequential)
+
+    # ------------------------------------------------------------ metrics
+
+    def busy_seconds(self) -> float:
+        """Total service time this device has performed."""
+        return self.traffic.busy_seconds()
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` this device spent serving I/O."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds() / elapsed_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimDevice({self.profile.name}, "
+            f"{self.used_bytes / 2**20:.1f}/{self.capacity_bytes / 2**20:.1f} MiB)"
+        )

@@ -1,0 +1,161 @@
+"""A minimal extent-allocating filesystem over a :class:`SimDevice`.
+
+Files store real bytes (engines read back exactly what they wrote), while
+page allocation and every read/write charges the owning device, so space and
+traffic accounting match what a real filesystem would issue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.common.errors import ClosedError, ReproError
+from repro.simssd.device import SimDevice
+from repro.simssd.traffic import TrafficKind
+
+
+class SimFile:
+    """An append-mostly byte file with page-accurate I/O accounting.
+
+    Appends extend the file; :meth:`write_at` rewrites bytes inside the
+    existing extent (used for in-place page updates in NVMe zone slots).
+    """
+
+    def __init__(self, name: str, device: SimDevice) -> None:
+        self.name = name
+        self.device = device
+        self._data = bytearray()
+        self._allocated_pages = 0
+        self._deleted = False
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def allocated_pages(self) -> int:
+        return self._allocated_pages
+
+    def _check_open(self) -> None:
+        if self._deleted:
+            raise ClosedError(f"file {self.name!r} has been deleted")
+
+    def _ensure_pages(self, new_size: int) -> None:
+        ps = self.device.page_size
+        need = -(-new_size // ps)
+        if need > self._allocated_pages:
+            self.device.allocate(need - self._allocated_pages)
+            self._allocated_pages = need
+
+    # --------------------------------------------------------------- I/O
+
+    def append(
+        self, data: bytes, kind: TrafficKind, sequential: bool = True
+    ) -> tuple[int, float]:
+        """Append ``data``; returns ``(offset, service_time)``."""
+        self._check_open()
+        if not data:
+            return len(self._data), 0.0
+        offset = len(self._data)
+        self._ensure_pages(offset + len(data))
+        self._data.extend(data)
+        pages = self._page_span(offset, len(data))
+        service = self.device.write_pages(pages, kind, sequential)
+        return offset, service
+
+    def write_at(
+        self, offset: int, data: bytes, kind: TrafficKind, sequential: bool = False
+    ) -> float:
+        """Overwrite bytes inside the existing extent; returns service time."""
+        self._check_open()
+        if offset < 0 or offset + len(data) > len(self._data):
+            raise ReproError(
+                f"write_at outside extent: [{offset}, {offset + len(data)}) "
+                f"in file of size {len(self._data)}"
+            )
+        if not data:
+            return 0.0
+        self._data[offset : offset + len(data)] = data
+        pages = self._page_span(offset, len(data))
+        return self.device.write_pages(pages, kind, sequential)
+
+    def read(
+        self, offset: int, length: int, kind: TrafficKind, sequential: bool = False
+    ) -> tuple[bytes, float]:
+        """Read ``length`` bytes at ``offset``; returns ``(data, service_time)``."""
+        self._check_open()
+        if offset < 0 or offset + length > len(self._data):
+            raise ReproError(
+                f"read outside extent: [{offset}, {offset + length}) "
+                f"in file of size {len(self._data)}"
+            )
+        if length == 0:
+            return b"", 0.0
+        pages = self._page_span(offset, length)
+        service = self.device.read_pages(pages, kind, sequential)
+        return bytes(self._data[offset : offset + length]), service
+
+    def _page_span(self, offset: int, length: int) -> int:
+        ps = self.device.page_size
+        first = offset // ps
+        last = (offset + length - 1) // ps
+        return last - first + 1
+
+    def delete(self) -> None:
+        """Release all pages back to the device."""
+        if self._deleted:
+            return
+        self.device.trim(self._allocated_pages)
+        self._allocated_pages = 0
+        self._data = bytearray()
+        self._deleted = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimFile({self.name!r}, {self.size}B, {self._allocated_pages}p)"
+
+
+class SimFilesystem:
+    """Named files over one device."""
+
+    def __init__(self, device: SimDevice) -> None:
+        self.device = device
+        self._files: Dict[str, SimFile] = {}
+        self._seq = 0
+
+    def create(self, name: str | None = None) -> SimFile:
+        """Create a new empty file.  Auto-names when ``name`` is None."""
+        if name is None:
+            name = f"f{self._seq:08d}"
+            self._seq += 1
+        if name in self._files:
+            raise ReproError(f"file {name!r} already exists")
+        f = SimFile(name, self.device)
+        self._files[name] = f
+        return f
+
+    def open(self, name: str) -> SimFile:
+        f = self._files.get(name)
+        if f is None:
+            raise ReproError(f"no such file: {name!r}")
+        return f
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        f = self._files.pop(name, None)
+        if f is None:
+            raise ReproError(f"no such file: {name!r}")
+        f.delete()
+
+    def files(self) -> Iterator[SimFile]:
+        return iter(list(self._files.values()))
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(f.allocated_pages for f in self._files.values()) * self.device.page_size
+
+    def __len__(self) -> int:
+        return len(self._files)

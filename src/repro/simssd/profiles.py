@@ -1,0 +1,97 @@
+"""Device cost-model profiles.
+
+The defaults are calibrated to the devices in the paper's testbed (§4.1):
+
+* **NVMe** — Samsung PM9A3 960 GB: ~6.5 GB/s sequential read, ~3.5 GB/s
+  sequential write, sub-100 µs random-read latency, excellent random I/O.
+* **SATA** — Intel D3-S4610 960 GB: ~560/510 MB/s sequential read/write,
+  random I/O dominated by per-command latency.
+
+Capacities default to a scaled-down 1/1024 of the physical devices so that
+scaled datasets exercise the same fill fractions, watermarks, and migration
+pressure as the paper's 100 GB loads on 960 GB devices.  Benchmarks override
+capacity explicitly per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceProfile:
+    """Cost model for one simulated SSD.
+
+    Service time for a request of ``n`` pages:
+
+    * sequential — one command setup plus streaming:
+      ``latency + n * page_size / bandwidth``
+    * random — a command per page:
+      ``n * (latency + page_size / bandwidth)``
+    """
+
+    name: str
+    capacity_bytes: int
+    page_size: int
+    read_latency_s: float
+    write_latency_s: float
+    read_bandwidth: float   # bytes / second, sustained sequential
+    write_bandwidth: float  # bytes / second, sustained sequential
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.page_size <= 0:
+            raise ValueError("capacity and page size must be positive")
+        if self.capacity_bytes % self.page_size != 0:
+            raise ValueError("capacity must be a whole number of pages")
+        if min(self.read_latency_s, self.write_latency_s) < 0:
+            raise ValueError("latencies must be non-negative")
+        if min(self.read_bandwidth, self.write_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def num_pages(self) -> int:
+        return self.capacity_bytes // self.page_size
+
+    def read_service_time(self, num_pages: int, sequential: bool) -> float:
+        xfer = num_pages * self.page_size / self.read_bandwidth
+        if sequential:
+            return self.read_latency_s + xfer
+        return num_pages * (self.read_latency_s + self.page_size / self.read_bandwidth)
+
+    def write_service_time(self, num_pages: int, sequential: bool) -> float:
+        xfer = num_pages * self.page_size / self.write_bandwidth
+        if sequential:
+            return self.write_latency_s + xfer
+        return num_pages * (self.write_latency_s + self.page_size / self.write_bandwidth)
+
+    def with_capacity(self, capacity_bytes: int) -> "DeviceProfile":
+        """A copy of this profile with a different capacity (page-aligned up)."""
+        pages = max(1, -(-capacity_bytes // self.page_size))
+        return replace(self, capacity_bytes=pages * self.page_size)
+
+
+#: Samsung PM9A3-like performance tier (capacity scaled 1/1024).
+NVME_PROFILE = DeviceProfile(
+    name="nvme",
+    capacity_bytes=960 * MiB,
+    page_size=4 * KiB,
+    read_latency_s=80e-6,
+    write_latency_s=20e-6,
+    read_bandwidth=6.5 * GiB,
+    write_bandwidth=3.5 * GiB,
+)
+
+#: Intel D3-S4610-like capacity tier (capacity scaled 1/1024).
+SATA_PROFILE = DeviceProfile(
+    name="sata",
+    capacity_bytes=960 * MiB,
+    page_size=4 * KiB,
+    read_latency_s=200e-6,
+    write_latency_s=60e-6,
+    read_bandwidth=560 * MiB,
+    write_bandwidth=510 * MiB,
+)

@@ -1,0 +1,147 @@
+"""Per-category I/O traffic accounting.
+
+Every device I/O is tagged with a :class:`TrafficKind` so the harness can
+break down bandwidth and write volume the way the paper does: foreground
+requests vs WAL vs flush vs compaction vs migration (Figs. 2, 3, 11).
+
+Busy time is split into two components:
+
+* **transfer** — ``bytes / bandwidth``; consumes the device's data channel
+  and cannot be parallelized away on a single device;
+* **latency** — per-command setup time; overlapping requests (more client
+  or background threads) hide it.
+
+The run-time model combines them as
+``elapsed ≥ transfer + latency / concurrency``, which is what lets a single
+compaction thread under-utilize a device while eight threads saturate it
+(paper Fig. 3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class TrafficKind(Enum):
+    """Why an I/O was issued."""
+
+    FOREGROUND = "foreground"   # client get/put/scan touching media directly
+    WAL = "wal"                 # write-ahead-log appends
+    FLUSH = "flush"             # memtable -> L1/L0 flushes
+    COMPACTION = "compaction"   # LSM merge I/O
+    MIGRATION = "migration"     # cross-tier demotion/promotion I/O
+    GC = "gc"                   # slab / zone garbage collection
+
+
+#: Categories charged to background work in utilization breakdowns.
+BACKGROUND_KINDS = (
+    TrafficKind.FLUSH,
+    TrafficKind.COMPACTION,
+    TrafficKind.MIGRATION,
+    TrafficKind.GC,
+)
+
+
+@dataclass(slots=True)
+class _Lane:
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_ios: int = 0
+    write_ios: int = 0
+    read_latency_s: float = 0.0
+    read_transfer_s: float = 0.0
+    write_latency_s: float = 0.0
+    write_transfer_s: float = 0.0
+
+
+@dataclass
+class TrafficStats:
+    """Byte / IO / busy-time totals for one device, split by category."""
+
+    lanes: Dict[TrafficKind, _Lane] = field(
+        default_factory=lambda: {k: _Lane() for k in TrafficKind}
+    )
+
+    def note_read(
+        self, kind: TrafficKind, nbytes: int, ios: int, latency_s: float, transfer_s: float
+    ) -> None:
+        lane = self.lanes[kind]
+        lane.read_bytes += nbytes
+        lane.read_ios += ios
+        lane.read_latency_s += latency_s
+        lane.read_transfer_s += transfer_s
+
+    def note_write(
+        self, kind: TrafficKind, nbytes: int, ios: int, latency_s: float, transfer_s: float
+    ) -> None:
+        lane = self.lanes[kind]
+        lane.write_bytes += nbytes
+        lane.write_ios += ios
+        lane.write_latency_s += latency_s
+        lane.write_transfer_s += transfer_s
+
+    # ----------------------------------------------------------- aggregates
+
+    def _select(self, kind: TrafficKind | None) -> list[_Lane]:
+        if kind is not None:
+            return [self.lanes[kind]]
+        return list(self.lanes.values())
+
+    def read_bytes(self, kind: TrafficKind | None = None) -> int:
+        return sum(l.read_bytes for l in self._select(kind))
+
+    def write_bytes(self, kind: TrafficKind | None = None) -> int:
+        return sum(l.write_bytes for l in self._select(kind))
+
+    def read_ios(self, kind: TrafficKind | None = None) -> int:
+        return sum(l.read_ios for l in self._select(kind))
+
+    def write_ios(self, kind: TrafficKind | None = None) -> int:
+        return sum(l.write_ios for l in self._select(kind))
+
+    def latency_seconds(self, kind: TrafficKind | None = None) -> float:
+        return sum(l.read_latency_s + l.write_latency_s for l in self._select(kind))
+
+    def transfer_seconds(self, kind: TrafficKind | None = None) -> float:
+        return sum(l.read_transfer_s + l.write_transfer_s for l in self._select(kind))
+
+    def busy_seconds(self, kind: TrafficKind | None = None) -> float:
+        """Total device time consumed (latency + transfer), optionally per lane."""
+        return self.latency_seconds(kind) + self.transfer_seconds(kind)
+
+    def background_busy_seconds(self) -> float:
+        """Busy time from flush + compaction + migration + GC."""
+        return sum(self.busy_seconds(k) for k in BACKGROUND_KINDS)
+
+    def background_bytes(self) -> int:
+        return sum(
+            self.read_bytes(k) + self.write_bytes(k) for k in BACKGROUND_KINDS
+        )
+
+    def total_bytes(self) -> int:
+        return self.read_bytes() + self.write_bytes()
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A plain-dict copy, for diffing run phases."""
+        return {
+            kind.value: {
+                "read_bytes": lane.read_bytes,
+                "write_bytes": lane.write_bytes,
+                "read_ios": lane.read_ios,
+                "write_ios": lane.write_ios,
+                "read_latency_s": lane.read_latency_s,
+                "read_transfer_s": lane.read_transfer_s,
+                "write_latency_s": lane.write_latency_s,
+                "write_transfer_s": lane.write_transfer_s,
+            }
+            for kind, lane in self.lanes.items()
+        }
+
+    def reset(self) -> None:
+        for lane in self.lanes.values():
+            lane.read_bytes = lane.write_bytes = 0
+            lane.read_ios = lane.write_ios = 0
+            lane.read_latency_s = lane.read_transfer_s = 0.0
+            lane.write_latency_s = lane.write_transfer_s = 0.0

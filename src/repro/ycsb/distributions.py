@@ -1,0 +1,129 @@
+"""Request-key distributions used by YCSB.
+
+The zipfian generator follows the YCSB implementation (Gray et al.'s
+"Quickly generating billion-record synthetic databases" rejection-free
+method), including the *scrambled* variant that hashes ranks so popular
+keys spread across the whole key space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UniformGenerator:
+    """Uniform over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: np.random.Generator) -> None:
+        if item_count <= 0:
+            raise ValueError(f"item_count must be positive, got {item_count}")
+        self.item_count = item_count
+        self.rng = rng
+
+    def next(self) -> int:
+        return int(self.rng.integers(0, self.item_count))
+
+    def set_item_count(self, n: int) -> None:
+        self.item_count = n
+
+
+class ZipfianGenerator:
+    """Zipfian over ranks ``[0, item_count)``; rank 0 is the most popular.
+
+    ``theta`` is the skew constant (YCSB default 0.99).  Uses the
+    closed-form inverse-CDF approximation from the YCSB source.
+    """
+
+    def __init__(
+        self, item_count: int, rng: np.random.Generator, theta: float = 0.99
+    ) -> None:
+        if item_count <= 0:
+            raise ValueError(f"item_count must be positive, got {item_count}")
+        if not 0.0 < theta < 2.0 or theta == 1.0:
+            raise ValueError(f"theta must be in (0,2) excluding 1, got {theta}")
+        self.rng = rng
+        self.theta = theta
+        self._configure(item_count)
+
+    def _configure(self, n: int) -> None:
+        self.item_count = n
+        self.zetan = self._zeta(n, self.theta)
+        self.zeta2 = self._zeta(2, self.theta)
+        self.alpha = 1.0 / (1.0 - self.theta)
+        self.eta = (1 - (2.0 / n) ** (1 - self.theta)) / (1 - self.zeta2 / self.zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler–Maclaurin tail approximation for large n
+        # keeps construction O(1)-ish without precomputing millions of terms.
+        cutoff = min(n, 10_000)
+        s = float(np.sum(1.0 / np.arange(1, cutoff + 1) ** theta))
+        if n > cutoff:
+            # integral of x^-theta from cutoff to n plus half-correction
+            s += (n ** (1 - theta) - cutoff ** (1 - theta)) / (1 - theta)
+            s += 0.5 * (1.0 / n**theta - 1.0 / cutoff**theta)
+        return s
+
+    def next(self) -> int:
+        """Draw one zipfian rank via the closed-form inverse CDF."""
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+
+    def set_item_count(self, n: int) -> None:
+        if n != self.item_count:
+            self._configure(n)
+
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 bytes (YCSB's key scrambler)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks hashed over the key space — YCSB's request default."""
+
+    def __init__(
+        self, item_count: int, rng: np.random.Generator, theta: float = 0.99
+    ) -> None:
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng, theta)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        return fnv1a_64(rank) % self.item_count
+
+    def set_item_count(self, n: int) -> None:
+        self.item_count = n
+        self._zipf.set_item_count(n)
+
+
+class LatestGenerator:
+    """YCSB's "latest" distribution: recency-skewed toward newest inserts."""
+
+    def __init__(
+        self, item_count: int, rng: np.random.Generator, theta: float = 0.99
+    ) -> None:
+        self._zipf = ZipfianGenerator(item_count, rng, theta)
+        self.item_count = item_count
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        return max(0, self.item_count - 1 - rank)
+
+    def set_item_count(self, n: int) -> None:
+        self.item_count = n
+        self._zipf.set_item_count(n)

@@ -1,0 +1,323 @@
+"""Closed-loop workload execution and the simulated-time performance model.
+
+The runner executes a workload against a store, recording each operation's
+foreground service time (exact, from the device cost model).  Throughput and
+latency are then derived:
+
+* **elapsed time** — clients and background threads overlap, but a device's
+  data channel does not::
+
+      elapsed = max( (cpu + fg_service) / clients,
+                     max over devices of
+                        transfer + fg_latency/clients + bg_latency/bg_threads )
+
+  Transfer time (bytes/bandwidth) serializes on the device; per-command
+  latency overlaps across concurrent requesters.  More background threads
+  therefore let compaction consume more real bandwidth (paper Fig. 3a).
+
+* **per-op latency** — the op's service time plus an M/M/1-style queueing
+  penalty ``share(d) × ρ(d)/(1−ρ(d)) × Exp(1)`` summed over the devices the
+  op actually touched (attributed by observing per-device busy-time deltas
+  around each call).  An NVMe-only put does not queue behind SATA
+  compaction, but a capacity-tier read does — so P99 responds to background
+  pressure (paper Figs. 8b/8c, 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.keys import encode_key
+from repro.common.stats import LatencyHistogram
+from repro.core.interface import KVStore
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+from repro.ycsb.workload import OpType, WorkloadSpec
+
+#: CPU cost per operation (request parsing, index walk) in seconds.  Small
+#: enough that devices dominate, large enough to bound ops/s per core.
+CPU_PER_OP = 3e-6
+#: Extra CPU per byte of value handled (checksum, memcpy).
+CPU_PER_BYTE = 2e-10
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one workload execution."""
+
+    store_name: str
+    workload_name: str
+    operations: int
+    clients: int
+    background_threads: int
+    elapsed_s: float
+    throughput_ops: float
+    latency_by_op: Dict[str, LatencyHistogram]
+    #: Per-device traffic deltas for the run phase: device -> lane -> bytes.
+    traffic: Dict[str, Dict[str, Dict[str, float]]]
+    #: Device utilization over the run phase (busy / elapsed).
+    utilization: Dict[str, float]
+    space_used: Dict[str, int]
+
+    @property
+    def overall_latency(self) -> LatencyHistogram:
+        merged = LatencyHistogram()
+        for hist in self.latency_by_op.values():
+            merged.merge(hist)
+        return merged
+
+    def median_latency(self, op: Optional[str] = None) -> float:
+        hist = self.overall_latency if op is None else self.latency_by_op.get(op)
+        return hist.median if hist else 0.0
+
+    def p99_latency(self, op: Optional[str] = None) -> float:
+        hist = self.overall_latency if op is None else self.latency_by_op.get(op)
+        return hist.p99 if hist else 0.0
+
+    def write_bytes(self, device: str, kind: Optional[str] = None) -> float:
+        lanes = self.traffic[device]
+        if kind is not None:
+            return lanes[kind]["write_bytes"]
+        return sum(l["write_bytes"] for l in lanes.values())
+
+    def read_bytes(self, device: str, kind: Optional[str] = None) -> float:
+        lanes = self.traffic[device]
+        if kind is not None:
+            return lanes[kind]["read_bytes"]
+        return sum(l["read_bytes"] for l in lanes.values())
+
+
+class WorkloadRunner:
+    """Loads a store and executes YCSB workloads against it."""
+
+    def __init__(
+        self,
+        store: KVStore,
+        record_count: int,
+        value_size: int = 128,
+        clients: int = 8,
+        background_threads: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if record_count <= 0:
+            raise ValueError(f"record_count must be positive, got {record_count}")
+        self.store = store
+        self.record_count = record_count
+        self.value_size = value_size
+        self.clients = clients
+        self.background_threads = background_threads
+        self.rng = np.random.default_rng(seed)
+        self._insert_count = 0
+        self._value_pool = self.rng.integers(
+            0, 256, size=max(4096, value_size * 4), dtype=np.uint8
+        ).tobytes()
+
+    # ---------------------------------------------------------------- load
+
+    def _value(self, key_id: int) -> bytes:
+        start = (key_id * 131) % (len(self._value_pool) - self.value_size)
+        return self._value_pool[start : start + self.value_size]
+
+    def load(self, shuffle: bool = True) -> float:
+        """Insert the initial dataset (random order, like the paper's load
+        phase).  Returns total foreground service seconds."""
+        ids = np.arange(self.record_count)
+        if shuffle:
+            self.rng.shuffle(ids)
+        total = 0.0
+        for kid in ids:
+            total += self.store.put(encode_key(int(kid)), self._value(int(kid)))
+        self.store.finalize()
+        return total
+
+    # ----------------------------------------------------------------- run
+
+    def _make_generator(self, spec: WorkloadSpec):
+        n = self.record_count + self._insert_count
+        if spec.distribution == "uniform":
+            return UniformGenerator(n, self.rng)
+        if spec.distribution == "latest":
+            return LatestGenerator(n, self.rng, spec.theta)
+        return ScrambledZipfianGenerator(n, self.rng, spec.theta)
+
+    def run(self, spec: WorkloadSpec, operations: int) -> RunResult:
+        """Execute ``operations`` requests of the given workload."""
+        devices = self.store.devices()
+        snap_before = {name: d.traffic.snapshot() for name, d in devices.items()}
+
+        generator = self._make_generator(spec)
+        mix = np.array([spec.read, spec.update, spec.insert, spec.scan, spec.rmw])
+        ops = (OpType.READ, OpType.UPDATE, OpType.INSERT, OpType.SCAN, OpType.RMW)
+        choices = self.rng.choice(len(ops), size=operations, p=mix)
+
+        service_samples: dict[OpType, list[float]] = {op: [] for op in ops}
+        #: Per-op device shares, parallel to service_samples[op]: which
+        #: device served the op's foreground I/O (for queue attribution).
+        device_shares: dict[OpType, list[dict[str, float]]] = {op: [] for op in ops}
+        device_list = list(devices.items())
+        cpu_total = 0.0
+        fg_service_total = 0.0
+
+        for op_idx in choices:
+            op = ops[op_idx]
+            busy_before = {name: d.busy_seconds() for name, d in device_list}
+            cpu = CPU_PER_OP
+            if op is OpType.INSERT:
+                kid = self.record_count + self._insert_count
+                self._insert_count += 1
+                generator.set_item_count(self.record_count + self._insert_count)
+                service = self.store.put(encode_key(kid), self._value(kid))
+                cpu += CPU_PER_BYTE * self.value_size
+            else:
+                kid = generator.next()
+                key = encode_key(kid)
+                if op is OpType.READ:
+                    _, service = self.store.get(key)
+                elif op is OpType.UPDATE:
+                    service = self.store.put(key, self._value(kid))
+                    cpu += CPU_PER_BYTE * self.value_size
+                elif op is OpType.SCAN:
+                    pairs, service = self.store.scan(key, spec.scan_length)
+                    cpu += CPU_PER_BYTE * sum(len(v) for _, v in pairs)
+                else:  # RMW
+                    _, s1 = self.store.get(key)
+                    s2 = self.store.put(key, self._value(kid))
+                    service = s1 + s2
+                    cpu += CPU_PER_BYTE * self.value_size
+            service_samples[op].append(service + cpu)
+            # Attribute the op's foreground service to the devices whose
+            # busy time moved during it; background work triggered inside
+            # the call inflates the deltas, so shares are normalized to the
+            # foreground service.
+            deltas = {
+                name: max(0.0, d.busy_seconds() - busy_before[name])
+                for name, d in device_list
+            }
+            total_delta = sum(deltas.values())
+            if total_delta > 0 and service > 0:
+                scale_f = min(1.0, service / total_delta)
+                shares = {n: v * scale_f for n, v in deltas.items() if v > 0}
+            else:
+                shares = {}
+            device_shares[op].append(shares)
+            cpu_total += cpu
+            fg_service_total += service
+
+        self.store.finalize()
+        snap_after = {name: d.traffic.snapshot() for name, d in devices.items()}
+        traffic = _diff_snapshots(snap_before, snap_after)
+
+        elapsed = self._elapsed(traffic, cpu_total, fg_service_total)
+        rho_by_device = {
+            name: min(0.95, _busy_seconds(traffic[name]) / elapsed)
+            for name in traffic
+        }
+        latency_by_op = self._latencies(service_samples, device_shares, rho_by_device)
+
+        utilization = {}
+        for name in devices:
+            busy = _busy_seconds(traffic[name])
+            utilization[name] = min(1.0, busy / elapsed) if elapsed > 0 else 0.0
+
+        return RunResult(
+            store_name=self.store.name,
+            workload_name=spec.name,
+            operations=operations,
+            clients=self.clients,
+            background_threads=self.background_threads,
+            elapsed_s=elapsed,
+            throughput_ops=operations / elapsed if elapsed > 0 else 0.0,
+            latency_by_op=latency_by_op,
+            traffic=traffic,
+            utilization=utilization,
+            space_used={n: d.used_bytes for n, d in devices.items()},
+        )
+
+    # ------------------------------------------------------------- models
+
+    def _elapsed(
+        self,
+        traffic: Dict[str, Dict[str, Dict[str, float]]],
+        cpu_total: float,
+        fg_service_total: float,
+    ) -> float:
+        client_bound = (cpu_total + fg_service_total) / self.clients
+        device_bound = 0.0
+        bg_threads = max(1, self.background_threads)
+        for lanes in traffic.values():
+            transfer = sum(
+                l["read_transfer_s"] + l["write_transfer_s"] for l in lanes.values()
+            )
+            fg_lat = sum(
+                lanes[k]["read_latency_s"] + lanes[k]["write_latency_s"]
+                for k in ("foreground", "wal")
+            )
+            # Each background lane has its own thread pool (the paper runs
+            # one migration thread and one compaction thread per partition),
+            # so per-command latencies overlap within a lane but a single
+            # lane cannot borrow the other lanes' threads.
+            bg_lat = max(
+                lanes[k]["read_latency_s"] + lanes[k]["write_latency_s"]
+                for k in ("flush", "compaction", "migration", "gc")
+            )
+            bound = transfer + fg_lat / self.clients + bg_lat / bg_threads
+            device_bound = max(device_bound, bound)
+        return max(client_bound, device_bound, 1e-9)
+
+    def _latencies(
+        self,
+        samples: dict[OpType, list[float]],
+        device_shares: dict[OpType, list[dict[str, float]]],
+        rho_by_device: Dict[str, float],
+    ) -> Dict[str, LatencyHistogram]:
+        """Service times + sampled queueing delay → latency histograms.
+
+        Each op's queueing penalty uses the utilization of the devices it
+        actually touched: an NVMe-only put does not wait behind SATA
+        compaction, but a read that dips into the capacity tier does.
+        """
+        factor = {n: r / (1.0 - r) for n, r in rho_by_device.items()}
+        out: Dict[str, LatencyHistogram] = {}
+        for op, values in samples.items():
+            if not values:
+                continue
+            arr = np.asarray(values)
+            queued_service = np.array(
+                [
+                    sum(share * factor.get(name, 0.0) for name, share in shares.items())
+                    for shares in device_shares[op]
+                ]
+            )
+            noise = self.rng.exponential(1.0, size=len(arr))
+            latencies = arr + queued_service * noise
+            hist = LatencyHistogram(initial_capacity=max(16, len(arr)))
+            hist.record_many(latencies)
+            out[op.value] = hist
+        return out
+
+
+def _busy_seconds(lanes: Dict[str, Dict[str, float]]) -> float:
+    return sum(
+        l["read_latency_s"]
+        + l["read_transfer_s"]
+        + l["write_latency_s"]
+        + l["write_transfer_s"]
+        for l in lanes.values()
+    )
+
+
+def _diff_snapshots(before, after):
+    out = {}
+    for device, lanes in after.items():
+        out[device] = {}
+        for lane, fields in lanes.items():
+            out[device][lane] = {
+                k: v - before[device][lane][k] for k, v in fields.items()
+            }
+    return out

@@ -1,0 +1,206 @@
+"""Workload traces: record, save, load, and replay operation sequences.
+
+The paper's Fig. 6a methodology is "construct and replay a workload"; this
+module makes that a first-class object.  A :class:`Trace` is an ordered list
+of operations that can be captured from a generator-driven run, persisted to
+a compact text format, fed to :func:`repro.hotness.interval` analyses, or
+replayed deterministically against any :class:`repro.core.interface.KVStore`
+— useful for A/B-ing engines on *exactly* the same request sequence.
+
+Format (one op per line)::
+
+    put <key_id> <value_size>
+    get <key_id>
+    delete <key_id>
+    scan <key_id> <count>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.keys import encode_key
+from repro.core.interface import KVStore
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+from repro.ycsb.workload import WorkloadSpec
+
+
+@dataclass(frozen=True, slots=True)
+class TraceOp:
+    """One operation of a trace."""
+
+    op: str              # "put" | "get" | "delete" | "scan"
+    key_id: int
+    arg: int = 0         # value size for put, count for scan
+
+    def __post_init__(self) -> None:
+        if self.op not in ("put", "get", "delete", "scan"):
+            raise ReproError(f"unknown trace op {self.op!r}")
+        if self.key_id < 0 or self.arg < 0:
+            raise ReproError("trace fields must be non-negative")
+
+
+@dataclass
+class Trace:
+    """An ordered, replayable operation sequence."""
+
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)
+
+    def append(self, op: TraceOp) -> None:
+        self.ops.append(op)
+
+    # ------------------------------------------------------------ analysis
+
+    def access_sequence(self) -> list[int]:
+        """The key ids in access order (input to the Fig. 6a interval
+        analysis)."""
+        return [o.key_id for o in self.ops]
+
+    def key_count(self) -> int:
+        return len({o.key_id for o in self.ops})
+
+    # ---------------------------------------------------------- persistence
+
+    def save(self, path: str | Path) -> None:
+        """Write the compact text format."""
+        lines = []
+        for o in self.ops:
+            if o.op in ("put", "scan"):
+                lines.append(f"{o.op} {o.key_id} {o.arg}")
+            else:
+                lines.append(f"{o.op} {o.key_id}")
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Parse the text format, validating every line."""
+        trace = cls()
+        for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] in ("put", "scan"):
+                    trace.append(TraceOp(parts[0], int(parts[1]), int(parts[2])))
+                elif parts[0] in ("get", "delete"):
+                    trace.append(TraceOp(parts[0], int(parts[1])))
+                else:
+                    raise ValueError(parts[0])
+            except (IndexError, ValueError) as exc:
+                raise ReproError(f"{path}:{lineno}: bad trace line {line!r}") from exc
+        return trace
+
+    # ------------------------------------------------------------- capture
+
+    @classmethod
+    def from_workload(
+        cls,
+        spec: WorkloadSpec,
+        operations: int,
+        record_count: int,
+        value_size: int = 128,
+        seed: int = 0,
+    ) -> "Trace":
+        """Generate a trace from a YCSB workload spec (deterministic)."""
+        rng = np.random.default_rng(seed)
+        n = record_count
+        if spec.distribution == "uniform":
+            gen = UniformGenerator(n, rng)
+        elif spec.distribution == "latest":
+            gen = LatestGenerator(n, rng, spec.theta)
+        else:
+            gen = ScrambledZipfianGenerator(n, rng, spec.theta)
+        mix = np.array([spec.read, spec.update, spec.insert, spec.scan, spec.rmw])
+        names = ("get", "put", "insert", "scan", "rmw")
+        choices = rng.choice(len(names), size=operations, p=mix)
+        trace = cls()
+        inserted = 0
+        for c in choices:
+            op = names[c]
+            if op == "insert":
+                trace.append(TraceOp("put", record_count + inserted, value_size))
+                inserted += 1
+                gen.set_item_count(record_count + inserted)
+                continue
+            kid = gen.next()
+            if op == "get":
+                trace.append(TraceOp("get", kid))
+            elif op == "put":
+                trace.append(TraceOp("put", kid, value_size))
+            elif op == "scan":
+                trace.append(TraceOp("scan", kid, spec.scan_length))
+            else:  # rmw
+                trace.append(TraceOp("get", kid))
+                trace.append(TraceOp("put", kid, value_size))
+        return trace
+
+    # -------------------------------------------------------------- replay
+
+    def replay(
+        self, store: KVStore, value_fill: bytes = b"x", seed: int = 0
+    ) -> "ReplayResult":
+        """Run the trace against ``store``; returns aggregate statistics.
+
+        Values are deterministic functions of (key, size) so two engines
+        replaying the same trace store identical data.
+        """
+        result = ReplayResult()
+        for o in self.ops:
+            key = encode_key(o.key_id)
+            if o.op == "put":
+                value = (value_fill * (o.arg // len(value_fill) + 1))[: o.arg]
+                result.service_s += store.put(key, value)
+                result.puts += 1
+            elif o.op == "get":
+                value, s = store.get(key)
+                result.service_s += s
+                result.gets += 1
+                if value is not None:
+                    result.hits += 1
+            elif o.op == "delete":
+                result.service_s += store.delete(key)
+                result.deletes += 1
+            else:
+                pairs, s = store.scan(key, o.arg)
+                result.service_s += s
+                result.scans += 1
+                result.scanned_records += len(pairs)
+        store.finalize()
+        return result
+
+
+@dataclass
+class ReplayResult:
+    """What a trace replay did and what it cost."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    scans: int = 0
+    hits: int = 0
+    scanned_records: int = 0
+    service_s: float = 0.0
+
+    @property
+    def operations(self) -> int:
+        return self.puts + self.gets + self.deletes + self.scans
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for the bloom filter."""
+
+import pytest
+
+from repro.common.bloom import BloomFilter
+from repro.common.keys import encode_key
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(capacity=1000)
+        keys = [encode_key(i) for i in range(1000)]
+        for k in keys:
+            bf.add(k)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_under_two_percent(self):
+        # Paper config: 10 bits/key targets <1%; allow slack for a small sample.
+        bf = BloomFilter(capacity=5000, bits_per_key=10)
+        for i in range(5000):
+            bf.add(encode_key(i))
+        fps = sum(1 for i in range(5000, 15000) if encode_key(i) in bf)
+        assert fps / 10000 < 0.02
+
+    def test_count_and_is_full(self):
+        bf = BloomFilter(capacity=3)
+        assert not bf.is_full
+        for i in range(3):
+            bf.add(encode_key(i))
+        assert bf.count == 3
+        assert bf.is_full
+
+    def test_duplicates_count_toward_capacity(self):
+        bf = BloomFilter(capacity=2)
+        bf.add(b"a")
+        bf.add(b"a")
+        assert bf.is_full
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(capacity=10)
+        assert encode_key(1) not in bf
+        assert bf.fill_ratio() == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, bits_per_key=0)
+
+    def test_for_keys_builder(self):
+        keys = [encode_key(i) for i in range(50)]
+        bf = BloomFilter.for_keys(keys)
+        assert all(k in bf for k in keys)
+        assert bf.capacity == 50
+
+    def test_for_keys_empty(self):
+        bf = BloomFilter.for_keys([])
+        assert b"x" not in bf
+
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(capacity=100)
+        before = bf.fill_ratio()
+        for i in range(100):
+            bf.add(encode_key(i))
+        assert bf.fill_ratio() > before

@@ -1,0 +1,111 @@
+"""Unit and property tests for the B-tree index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.btree import BTreeIndex
+from repro.common.keys import encode_key
+
+
+class TestBTreeBasics:
+    def test_insert_get(self):
+        bt = BTreeIndex(order=4)
+        assert bt.insert(b"b", 2)
+        assert bt.insert(b"a", 1)
+        assert bt.get(b"a") == 1
+        assert bt.get(b"missing", "dflt") == "dflt"
+
+    def test_replace(self):
+        bt = BTreeIndex()
+        bt.insert(b"k", 1)
+        assert not bt.insert(b"k", 2)
+        assert bt.get(b"k") == 2
+        assert len(bt) == 1
+
+    def test_splits_stay_sorted(self):
+        bt = BTreeIndex(order=4)
+        import random
+
+        ids = list(range(1000))
+        random.Random(7).shuffle(ids)
+        for i in ids:
+            bt.insert(encode_key(i), i)
+        assert len(bt) == 1000
+        keys = [k for k, _ in bt.items()]
+        assert keys == [encode_key(i) for i in range(1000)]
+
+    def test_range_scan(self):
+        bt = BTreeIndex(order=8)
+        for i in range(100):
+            bt.insert(encode_key(i), i)
+        got = [v for _, v in bt.items(start=encode_key(10), end=encode_key(20))]
+        assert got == list(range(10, 20))
+
+    def test_scan_start_between_keys(self):
+        bt = BTreeIndex(order=8)
+        for i in range(0, 100, 10):
+            bt.insert(encode_key(i), i)
+        got = [v for _, v in bt.items(start=encode_key(15))]
+        assert got[0] == 20
+
+    def test_delete(self):
+        bt = BTreeIndex(order=4)
+        for i in range(100):
+            bt.insert(encode_key(i), i)
+        for i in range(0, 100, 2):
+            assert bt.delete(encode_key(i))
+        assert len(bt) == 50
+        assert [v for _, v in bt.items()] == list(range(1, 100, 2))
+        assert not bt.delete(encode_key(0))
+
+    def test_contains_none_value(self):
+        bt = BTreeIndex()
+        bt.insert(b"x", None)
+        assert b"x" in bt
+        assert b"y" not in bt
+
+    def test_first_key(self):
+        bt = BTreeIndex()
+        assert bt.first_key() is None
+        bt.insert(encode_key(9), 9)
+        bt.insert(encode_key(3), 3)
+        assert bt.first_key() == encode_key(3)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BTreeIndex(order=2)
+
+
+class TestBTreeProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6)))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict(self, ids):
+        bt = BTreeIndex(order=5)
+        model = {}
+        for i, kid in enumerate(ids):
+            k = encode_key(kid)
+            bt.insert(k, i)
+            model[k] = i
+        assert len(bt) == len(model)
+        for k, v in model.items():
+            assert bt.get(k) == v
+        assert [k for k, _ in bt.items()] == sorted(model)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1),
+        st.lists(st.integers(min_value=0, max_value=500)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_delete_matches_dict(self, inserts, deletes):
+        bt = BTreeIndex(order=4)
+        model = {}
+        for kid in inserts:
+            bt.insert(encode_key(kid), kid)
+            model[encode_key(kid)] = kid
+        for kid in deletes:
+            k = encode_key(kid)
+            assert bt.delete(k) == (k in model)
+            model.pop(k, None)
+        assert [k for k, _ in bt.items()] == sorted(model)
+        assert len(bt) == len(model)

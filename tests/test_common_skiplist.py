@@ -1,0 +1,109 @@
+"""Unit and property tests for the skip list."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.keys import encode_key
+from repro.common.skiplist import SkipList
+
+
+class TestSkipListBasics:
+    def test_insert_get(self):
+        sl = SkipList()
+        assert sl.insert(b"b", 2)
+        assert sl.insert(b"a", 1)
+        assert sl.get(b"a") == 1
+        assert sl.get(b"b") == 2
+        assert sl.get(b"c") is None
+
+    def test_replace_returns_false(self):
+        sl = SkipList()
+        assert sl.insert(b"k", 1)
+        assert not sl.insert(b"k", 2)
+        assert sl.get(b"k") == 2
+        assert len(sl) == 1
+
+    def test_len(self):
+        sl = SkipList()
+        for i in range(100):
+            sl.insert(encode_key(i), i)
+        assert len(sl) == 100
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(b"x", None)  # value None must still count as present
+        assert b"x" in sl
+        assert b"y" not in sl
+
+    def test_ordered_iteration(self):
+        sl = SkipList()
+        import random
+
+        ids = list(range(200))
+        random.Random(42).shuffle(ids)
+        for i in ids:
+            sl.insert(encode_key(i), i)
+        keys = [k for k, _ in sl.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 200
+
+    def test_items_from_start_key(self):
+        sl = SkipList()
+        for i in range(10):
+            sl.insert(encode_key(i * 2), i)
+        got = [k for k, _ in sl.items(start=encode_key(5))]
+        assert got[0] == encode_key(6)
+
+    def test_delete(self):
+        sl = SkipList()
+        for i in range(20):
+            sl.insert(encode_key(i), i)
+        assert sl.delete(encode_key(10))
+        assert not sl.delete(encode_key(10))
+        assert encode_key(10) not in sl
+        assert len(sl) == 19
+        keys = [k for k, _ in sl.items()]
+        assert keys == sorted(keys)
+
+    def test_first_last_key(self):
+        sl = SkipList()
+        assert sl.first_key() is None
+        assert sl.last_key() is None
+        sl.insert(encode_key(5), None)
+        sl.insert(encode_key(1), None)
+        sl.insert(encode_key(9), None)
+        assert sl.first_key() == encode_key(1)
+        assert sl.last_key() == encode_key(9)
+
+
+class TestSkipListProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6)))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_semantics(self, ids):
+        sl = SkipList()
+        model = {}
+        for i, kid in enumerate(ids):
+            k = encode_key(kid)
+            sl.insert(k, i)
+            model[k] = i
+        assert len(sl) == len(model)
+        for k, v in model.items():
+            assert sl.get(k) == v
+        assert [k for k, _ in sl.items()] == sorted(model)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1),
+        st.lists(st.integers(min_value=0, max_value=1000)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_delete_matches_dict(self, inserts, deletes):
+        sl = SkipList()
+        model = {}
+        for kid in inserts:
+            sl.insert(encode_key(kid), kid)
+            model[encode_key(kid)] = kid
+        for kid in deletes:
+            k = encode_key(kid)
+            assert sl.delete(k) == (k in model)
+            model.pop(k, None)
+        assert [k for k, _ in sl.items()] == sorted(model)

@@ -1,0 +1,41 @@
+"""Light tests of the experiment registry (the heavy runs live in
+benchmarks/)."""
+
+import numpy as np
+
+from repro.bench.experiments import ALL_EXPERIMENTS, fig6a_interval_correlation
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        expected = {
+            "fig2", "fig3", "fig6a", "fig8", "fig9a", "fig9b", "fig9c",
+            "fig10", "fig11", "ablations",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_entries_callable_with_docstrings(self):
+        for name, fn in ALL_EXPERIMENTS.items():
+            assert callable(fn), name
+            assert fn.__doc__, f"{name} lacks a docstring"
+
+
+class TestFig6aUnit:
+    # fig6a needs no stores, so it is cheap enough to exercise here.
+    def test_result_structure(self):
+        result = fig6a_interval_correlation(n_keys=200, accesses=5000)
+        assert set(result) >= {"title", "headers", "rows", "raw"}
+        assert len(result["rows"]) == 9  # 3 thresholds x 3 histories
+        for row in result["rows"]:
+            assert len(row) == len(result["headers"])
+
+    def test_deterministic(self):
+        a = fig6a_interval_correlation(n_keys=200, accesses=5000, seed=5)
+        b = fig6a_interval_correlation(n_keys=200, accesses=5000, seed=5)
+        assert a["rows"] == b["rows"]
+
+    def test_probabilities_valid(self):
+        result = fig6a_interval_correlation(n_keys=200, accesses=5000)
+        for summary in result["raw"].values():
+            assert 0.0 <= summary["median"] <= 1.0
+            assert summary["p25"] <= summary["p75"] + 1e-12

@@ -1,0 +1,82 @@
+"""Unit tests for record/block encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptionError
+from repro.common.records import Record
+from repro.lsm.blocks import (
+    decode_block,
+    decode_records,
+    encode_block,
+    encode_record,
+    record_encoded_size,
+)
+
+
+class TestRecordEncoding:
+    def test_roundtrip(self):
+        rec = Record(b"key", b"value", 42)
+        out = list(decode_records(encode_record(rec)))
+        assert len(out) == 1
+        assert out[0].key == b"key" and out[0].value == b"value" and out[0].seqno == 42
+
+    def test_tombstone_roundtrip(self):
+        rec = Record.tombstone(b"k", 7)
+        (out,) = decode_records(encode_record(rec))
+        assert out.is_tombstone
+
+    def test_empty_value(self):
+        rec = Record(b"k", b"", 1)
+        (out,) = decode_records(encode_record(rec))
+        assert out.value == b"" and not out.is_tombstone
+
+    def test_encoded_size_matches(self):
+        rec = Record(b"abc", b"x" * 100, 5)
+        assert len(encode_record(rec)) == record_encoded_size(rec)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CorruptionError):
+            list(decode_records(b"\x00" * 5))
+
+    def test_truncated_body_rejected(self):
+        data = encode_record(Record(b"key", b"value", 1))[:-2]
+        with pytest.raises(CorruptionError):
+            list(decode_records(data))
+
+
+class TestBlockEncoding:
+    def test_roundtrip_many(self):
+        recs = [Record(bytes([i]), b"v" * i, i) for i in range(1, 50)]
+        out = decode_block(encode_block(recs))
+        assert [(r.key, r.value, r.seqno) for r in out] == [
+            (r.key, r.value, r.seqno) for r in recs
+        ]
+
+    def test_empty_block(self):
+        assert decode_block(encode_block([])) == []
+
+    def test_corruption_detected(self):
+        block = bytearray(encode_block([Record(b"k", b"v", 1)]))
+        block[2] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            decode_block(bytes(block))
+
+    def test_short_block_rejected(self):
+        with pytest.raises(CorruptionError):
+            decode_block(b"ab")
+
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=20), st.binary(max_size=200)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, pairs):
+        recs = [Record(k, v, i) for i, (k, v) in enumerate(pairs)]
+        out = decode_block(encode_block(recs))
+        assert [(r.key, r.value, r.seqno) for r in out] == [
+            (r.key, r.value, r.seqno) for r in recs
+        ]

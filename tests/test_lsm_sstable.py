@@ -1,0 +1,140 @@
+"""Unit tests for SSTable build and read paths."""
+
+import pytest
+
+from repro.common.cache import LRUCache
+from repro.common.errors import ReproError
+from repro.common.keys import encode_key
+from repro.common.records import Record
+from repro.lsm.sstable import SSTableBuilder, build_sstable
+from repro.simssd import DeviceProfile, SimDevice, SimFilesystem, TrafficKind
+
+
+@pytest.fixture
+def fs():
+    profile = DeviceProfile(
+        name="t",
+        capacity_bytes=4096 * 4096,
+        page_size=4096,
+        read_latency_s=1e-4,
+        write_latency_s=5e-5,
+        read_bandwidth=1e8,
+        write_bandwidth=5e7,
+    )
+    return SimFilesystem(SimDevice(profile))
+
+
+def records(n, vlen=100):
+    return [Record(encode_key(i), bytes([i % 256]) * vlen, i + 1) for i in range(n)]
+
+
+class TestSSTableBuilder:
+    def test_build_and_get_all(self, fs):
+        recs = records(500)
+        table = build_sstable(fs, 1, recs)
+        assert table.num_records == 500
+        for r in recs[:: 50]:
+            got, _ = table.get(r.key)
+            assert got is not None and got.value == r.value
+
+    def test_get_missing_key(self, fs):
+        table = build_sstable(fs, 1, records(100))
+        got, _ = table.get(encode_key(10**6))
+        assert got is None
+
+    def test_out_of_order_rejected(self, fs):
+        b = SSTableBuilder(fs, 1)
+        b.add(Record(encode_key(5), b"v", 1))
+        with pytest.raises(ReproError):
+            b.add(Record(encode_key(4), b"v", 2))
+        with pytest.raises(ReproError):
+            b.add(Record(encode_key(5), b"v", 3))
+        b.abandon()
+
+    def test_empty_table_rejected(self, fs):
+        b = SSTableBuilder(fs, 1)
+        with pytest.raises(ReproError):
+            b.finish()
+        assert fs.device.allocated_pages == 0  # space reclaimed
+
+    def test_abandon_frees_space(self, fs):
+        b = SSTableBuilder(fs, 1)
+        for r in records(100):
+            b.add(r)
+        b.abandon()
+        assert fs.device.allocated_pages == 0
+
+    def test_double_finish_rejected(self, fs):
+        b = SSTableBuilder(fs, 1)
+        b.add(Record(b"k", b"v", 1))
+        b.finish()
+        with pytest.raises(ReproError):
+            b.finish()
+
+    def test_blocks_respect_block_size(self, fs):
+        table = build_sstable(fs, 1, records(500, vlen=100), block_size=1024)
+        assert len(table.handles) > 1
+        for h in table.handles:
+            assert h.length <= 1024 + 200  # one record of slack past the target
+
+    def test_key_range(self, fs):
+        table = build_sstable(fs, 1, records(100))
+        assert table.first_key == encode_key(0)
+        assert table.last_key == encode_key(99)
+        assert table.key_range.contains(encode_key(50))
+
+    def test_metadata_charged_to_file(self, fs):
+        table = build_sstable(fs, 1, records(100))
+        assert table.size_bytes > table.data_bytes
+
+
+class TestSSTableReads:
+    def test_bloom_screens_missing_keys_without_io(self, fs):
+        table = build_sstable(fs, 1, records(200))
+        fs.device.traffic.reset()
+        misses = 0
+        for i in range(10**5, 10**5 + 200):
+            got, _ = table.get(encode_key(i))
+            assert got is None
+            misses += 1
+        # Bloom lets most misses avoid any device read.
+        read_ios = fs.device.traffic.read_ios(TrafficKind.FOREGROUND)
+        assert read_ios < misses * 0.05
+
+    def test_point_read_charges_one_block(self, fs):
+        table = build_sstable(fs, 1, records(500))
+        fs.device.traffic.reset()
+        table.get(encode_key(250))
+        assert 0 < fs.device.traffic.read_bytes(TrafficKind.FOREGROUND) <= 2 * 4096
+
+    def test_cache_absorbs_repeat_reads(self, fs):
+        table = build_sstable(fs, 1, records(500))
+        cache = LRUCache(1 << 20)
+        table.get(encode_key(250), cache=cache)
+        fs.device.traffic.reset()
+        _, service = table.get(encode_key(250), cache=cache)
+        assert service == 0.0
+        assert fs.device.traffic.read_bytes() == 0
+
+    def test_iter_records_sorted_complete(self, fs):
+        recs = records(300)
+        table = build_sstable(fs, 1, recs)
+        out = list(table.iter_records())
+        assert [r.key for r in out] == [r.key for r in recs]
+
+    def test_iter_from(self, fs):
+        table = build_sstable(fs, 1, records(100))
+        out = [r.key for r in table.iter_from(encode_key(90))]
+        assert out == [encode_key(i) for i in range(90, 100)]
+
+    def test_iter_from_between_keys(self, fs):
+        table = build_sstable(fs, 1, [Record(encode_key(i * 10), b"v", i + 1) for i in range(10)])
+        out = [r.key for r in table.iter_from(encode_key(45))]
+        assert out[0] == encode_key(50)
+
+    def test_get_with_compaction_kind_charges_compaction(self, fs):
+        table = build_sstable(fs, 1, records(100))
+        fs.device.traffic.reset()
+        list(table.iter_records(TrafficKind.COMPACTION))
+        assert fs.device.traffic.read_bytes(TrafficKind.COMPACTION) > 0
+        assert fs.device.traffic.read_bytes(TrafficKind.FOREGROUND) == 0

@@ -1,0 +1,229 @@
+"""Integration tests for the leveled LSM engine."""
+
+import pytest
+
+from repro.common.cache import LRUCache
+from repro.common.keys import encode_key
+from repro.lsm.lsmtree import DbPath, LSMOptions, LSMTree
+from repro.simssd import DeviceProfile, SimDevice, SimFilesystem, TrafficKind
+
+
+def make_fs(mib=64, name="dev"):
+    profile = DeviceProfile(
+        name=name,
+        capacity_bytes=mib * (1 << 20),
+        page_size=4096,
+        read_latency_s=1e-4,
+        write_latency_s=5e-5,
+        read_bandwidth=5e8,
+        write_bandwidth=5e8,
+    )
+    return SimFilesystem(SimDevice(profile))
+
+
+def small_options(**kw):
+    defaults = dict(
+        memtable_bytes=4 << 10,
+        table_size_bytes=8 << 10,
+        block_size=1024,
+        level0_trigger=2,
+        level_base_bytes=16 << 10,
+        level_multiplier=4,
+        num_levels=5,
+        wal_group_size=8,
+    )
+    defaults.update(kw)
+    return LSMOptions(**defaults)
+
+
+@pytest.fixture
+def tree():
+    return LSMTree(make_fs(), small_options())
+
+
+class TestLSMTreeBasics:
+    def test_put_get(self, tree):
+        tree.put(b"hello", b"world")
+        value, _ = tree.get(b"hello")
+        assert value == b"world"
+
+    def test_get_missing(self, tree):
+        value, _ = tree.get(b"nope")
+        assert value is None
+
+    def test_update_visible(self, tree):
+        tree.put(b"k", b"v1")
+        tree.put(b"k", b"v2")
+        assert tree.get(b"k")[0] == b"v2"
+
+    def test_delete(self, tree):
+        tree.put(b"k", b"v")
+        tree.delete(b"k")
+        assert tree.get(b"k")[0] is None
+
+    def test_many_writes_survive_flushes_and_compactions(self, tree):
+        n = 2000
+        for i in range(n):
+            tree.put(encode_key(i), b"value-%d" % i)
+        assert tree.stats.counter("flushes").value > 0
+        assert tree.compactor.stats.compactions > 0
+        for i in range(0, n, 97):
+            assert tree.get(encode_key(i))[0] == b"value-%d" % i
+
+    def test_overwrites_deduplicated_by_compaction(self, tree):
+        for round_no in range(5):
+            for i in range(300):
+                tree.put(encode_key(i), b"round-%d" % round_no)
+        for i in range(0, 300, 13):
+            assert tree.get(encode_key(i))[0] == b"round-4"
+
+    def test_delete_survives_compaction(self, tree):
+        for i in range(1000):
+            tree.put(encode_key(i), b"v")
+        tree.delete(encode_key(500))
+        for i in range(1000, 2000):
+            tree.put(encode_key(i), b"v")
+        assert tree.get(encode_key(500))[0] is None
+        assert tree.get(encode_key(501))[0] == b"v"
+
+    def test_flush_explicit(self, tree):
+        tree.put(b"k", b"v")
+        tree.flush()
+        assert len(tree.version.level(0)) >= 1 or tree.version.total_tables() >= 1
+        assert tree.get(b"k")[0] == b"v"
+
+
+class TestLSMTreeScan:
+    def test_scan_ordered(self, tree):
+        for i in range(500):
+            tree.put(encode_key(i), bytes([i % 256]))
+        out, _ = tree.scan(encode_key(100), 50)
+        assert [k for k, _ in out] == [encode_key(i) for i in range(100, 150)]
+
+    def test_scan_sees_memtable_and_disk(self, tree):
+        for i in range(0, 100, 2):
+            tree.put(encode_key(i), b"disk")
+        tree.flush()
+        for i in range(1, 100, 2):
+            tree.put(encode_key(i), b"mem")
+        out, _ = tree.scan(encode_key(0), 10)
+        assert len(out) == 10
+        assert out[0] == (encode_key(0), b"disk")
+        assert out[1] == (encode_key(1), b"mem")
+
+    def test_scan_skips_tombstones(self, tree):
+        for i in range(20):
+            tree.put(encode_key(i), b"v")
+        tree.delete(encode_key(5))
+        out, _ = tree.scan(encode_key(0), 20)
+        keys = [k for k, _ in out]
+        assert encode_key(5) not in keys
+        assert len(out) == 19
+
+    def test_scan_newest_value_wins(self, tree):
+        tree.put(encode_key(1), b"old")
+        tree.flush()
+        tree.put(encode_key(1), b"new")
+        out, _ = tree.scan(encode_key(0), 5)
+        assert out[0] == (encode_key(1), b"new")
+
+
+class TestLSMTreeLevels:
+    def test_levels_respect_targets_after_compaction(self, tree):
+        for i in range(5000):
+            tree.put(encode_key(i), b"x" * 32)
+        for lvl in tree.version.all_levels():
+            score = tree.compactor.level_score(lvl.level)
+            assert score < 1.5, f"L{lvl.level} score {score}"
+
+    def test_sorted_levels_disjoint(self, tree):
+        for i in range(5000):
+            tree.put(encode_key(i * 7 % 5000), b"x" * 32)
+        for lvl in tree.version.all_levels():
+            if lvl.level == 0:
+                continue
+            tables = list(lvl)
+            for a, b in zip(tables, tables[1:]):
+                assert a.last_key < b.first_key
+
+    def test_db_paths_split_levels_across_devices(self):
+        fast = make_fs(8, "fast")
+        slow = make_fs(64, "slow")
+        opts = small_options()
+        tree = LSMTree(
+            [DbPath(fast, target_bytes=48 << 10), DbPath(slow, target_bytes=1 << 30)],
+            opts,
+        )
+        # First level(s) on the fast path, deeper levels on the slow path.
+        assert tree.fs_for_level(0) is fast
+        deepest = opts.first_level + opts.num_levels - 1
+        assert tree.fs_for_level(deepest) is slow
+        for i in range(3000):
+            tree.put(encode_key(i), b"x" * 32)
+        assert slow.device.used_bytes > 0
+        for i in range(0, 3000, 111):
+            assert tree.get(encode_key(i))[0] == b"x" * 32
+
+    def test_first_level_one_tree(self):
+        opts = small_options(first_level=1, wal_enabled=False)
+        tree = LSMTree(make_fs(), opts)
+        for i in range(2000):
+            tree.put(encode_key(i), b"v" * 16)
+        for i in range(0, 2000, 101):
+            assert tree.get(encode_key(i))[0] == b"v" * 16
+        # No level 0 exists; every level is sorted and disjoint.
+        for lvl in tree.version.all_levels():
+            tables = list(lvl)
+            for a, b in zip(tables, tables[1:]):
+                assert a.last_key < b.first_key
+
+
+class TestLSMTreeAccounting:
+    def test_wal_traffic_recorded(self, tree):
+        for i in range(100):
+            tree.put(encode_key(i), b"v")
+        dev = tree.paths[0].fs.device
+        assert dev.traffic.write_bytes(TrafficKind.WAL) > 0
+
+    def test_compaction_traffic_recorded(self, tree):
+        for i in range(3000):
+            tree.put(encode_key(i), b"x" * 32)
+        dev = tree.paths[0].fs.device
+        assert dev.traffic.write_bytes(TrafficKind.COMPACTION) > 0
+        assert dev.traffic.read_bytes(TrafficKind.COMPACTION) > 0
+
+    def test_per_level_compaction_stats(self, tree):
+        for i in range(5000):
+            tree.put(encode_key(i), b"x" * 32)
+        stats = tree.compactor.stats
+        assert stats.total_write_bytes() > 0
+        assert len(stats.write_bytes_by_level) >= 1
+
+    def test_write_amplification_above_one(self, tree):
+        payload = 0
+        for i in range(3000):
+            tree.put(encode_key(i % 600), b"x" * 64)
+            payload += 8 + 64
+        dev = tree.paths[0].fs.device
+        total_writes = dev.traffic.write_bytes()
+        assert total_writes > payload  # WAL + flush + compaction rewrite
+
+    def test_block_cache_reduces_foreground_reads(self):
+        cache = LRUCache(4 << 20)
+        tree = LSMTree(make_fs(), small_options(), cache=cache)
+        for i in range(2000):
+            tree.put(encode_key(i), b"x" * 32)
+        tree.get(encode_key(123))
+        dev = tree.paths[0].fs.device
+        dev.traffic.reset()
+        tree.get(encode_key(123))
+        assert dev.traffic.read_bytes(TrafficKind.FOREGROUND) == 0
+
+    def test_space_reclaimed_by_compaction(self, tree):
+        # Overwrite the same small key set many times; stale versions must
+        # not accumulate without bound.
+        for _ in range(20):
+            for i in range(200):
+                tree.put(encode_key(i), b"x" * 64)
+        live = 200 * (8 + 64)
+        assert tree.size_bytes() < live * 30

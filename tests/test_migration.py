@@ -1,0 +1,182 @@
+"""Unit tests for the migration scheduler and promotion manager."""
+
+import pytest
+
+from repro.common.keys import KeyRange, encode_key
+from repro.common.records import Record
+from repro.lsm.semi import CapacityTier, SemiLevelConfig
+from repro.migration import MigrationScheduler, PromotionManager
+from repro.nvme import NVMeConfig, PerformanceTier
+from repro.simssd import DeviceProfile, SimDevice, SimFilesystem, TrafficKind
+
+KEYSPACE = 20_000
+KiB = 1024
+MiB = 1024 * KiB
+
+
+def nvme_device(mib=2):
+    return SimDevice(
+        DeviceProfile(
+            name="nvme",
+            capacity_bytes=mib * MiB,
+            page_size=4096,
+            read_latency_s=8e-5,
+            write_latency_s=2e-5,
+            read_bandwidth=6.5e9,
+            write_bandwidth=3.5e9,
+        )
+    )
+
+
+def sata_fs(mib=64):
+    return SimFilesystem(
+        SimDevice(
+            DeviceProfile(
+                name="sata",
+                capacity_bytes=mib * MiB,
+                page_size=4096,
+                read_latency_s=2e-4,
+                write_latency_s=6e-5,
+                read_bandwidth=5.6e8,
+                write_bandwidth=5.1e8,
+            )
+        )
+    )
+
+
+def make_tiers(nvme_mib=2):
+    perf = PerformanceTier(
+        nvme_device(nvme_mib),
+        KeyRange(encode_key(0), encode_key(KEYSPACE)),
+        NVMeConfig(num_partitions=2, migration_batch_bytes=16 * KiB),
+    )
+    cap = CapacityTier(
+        sata_fs(),
+        SemiLevelConfig(
+            key_space=KeyRange(encode_key(0), encode_key(KEYSPACE)),
+            num_levels=3,
+            size_ratio=4,
+            bottom_segments=16,
+            level1_target_bytes=128 * KiB,
+        ),
+    )
+    return perf, cap
+
+
+def rec(i, size=400, seqno=None):
+    return Record(encode_key(i), b"x" * size, seqno if seqno is not None else i + 1)
+
+
+class TestMigrationScheduler:
+    def test_noop_below_watermark(self):
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap)
+        perf.put(rec(1))
+        assert sched.run_if_needed() == 0
+        assert sched.stats.demotion_jobs == 0
+
+    def test_demotes_until_low_watermark(self):
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap)
+        i = 0
+        while not perf.partitions_over_watermark() and i < KEYSPACE:
+            perf.put(rec(i))
+            i += 1
+        zones = sched.run_if_needed()
+        assert zones > 0
+        assert not perf.partitions_over_watermark()
+        assert sched.stats.demoted_objects > 0
+        assert cap.valid_bytes() > 0
+
+    def test_demoted_values_readable_from_capacity_tier(self):
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap)
+        for i in range(1500):
+            perf.put(rec(i))
+            sched.run_if_needed()
+        # Every key is on exactly one of the two tiers.
+        for i in range(0, 1500, 53):
+            key = encode_key(i)
+            on_nvme = perf.contains(key)
+            got, _ = cap.get(key)
+            assert on_nvme or (got is not None and got.value == b"x" * 400), i
+
+    def test_stats_track_bytes(self):
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap)
+        for i in range(1500):
+            perf.put(rec(i))
+            sched.run_if_needed()
+        assert sched.stats.demoted_bytes >= sched.stats.demoted_objects * 400
+
+
+class TestPromotionManager:
+    def test_stage_and_lookup(self):
+        perf, _ = make_tiers()
+        pm = PromotionManager(perf, cache_entries=8)
+        pm.stage(rec(5))
+        assert pm.lookup(encode_key(5)).value == b"x" * 400
+        assert pm.lookup(encode_key(6)) is None
+
+    def test_eviction_flushes_to_hot_zone(self):
+        perf, _ = make_tiers()
+        pm = PromotionManager(perf, cache_entries=4)
+        for i in range(10):
+            pm.stage(rec(i))
+        assert pm.promotions == 6  # 10 staged, 4 still cached
+        flushed = encode_key(0)
+        assert perf.contains(flushed)
+        part = perf.partition_for_key(flushed)
+        loc = part.index.get(flushed)
+        assert loc.promoted and loc.zone_id == part.hot_zone.zone_id
+
+    def test_invalidate_drops_staged_copy(self):
+        perf, _ = make_tiers()
+        pm = PromotionManager(perf, cache_entries=8)
+        pm.stage(rec(5))
+        pm.invalidate(encode_key(5))
+        assert pm.lookup(encode_key(5)) is None
+        pm.drain()
+        assert not perf.contains(encode_key(5))
+
+    def test_drain_flushes_everything(self):
+        perf, _ = make_tiers()
+        pm = PromotionManager(perf, cache_entries=100)
+        for i in range(20):
+            pm.stage(rec(i))
+        pm.drain()
+        assert pm.promotions == 20
+        for i in range(20):
+            assert perf.contains(encode_key(i))
+
+    def test_on_pressure_invoked_when_hot_zone_cannot_shed(self):
+        # Pressure is only reported when eviction cannot make room — i.e.
+        # the hot zone is full of objects the tracker still considers hot.
+        perf, _ = make_tiers(nvme_mib=1)
+        calls = []
+        pm = PromotionManager(perf, cache_entries=2, on_pressure=lambda: calls.append(1))
+        part = perf.partitions[0]
+        window = part.tracker.discriminator.window_capacity
+        n_keys = 2000
+        # Heat a large key set: several passes so every key appears in
+        # consecutive windows.
+        for _ in range(4):
+            for i in range(0, n_keys, max(1, n_keys // window + 1)):
+                pass
+        for _ in range(4 * window // n_keys + 4):
+            for i in range(n_keys):
+                part.tracker.record_access(encode_key(i))
+        i = 0
+        while not calls and i < n_keys:
+            if perf.partition_for_key(encode_key(i)) is part:
+                pm.stage(rec(i, size=900))
+            i += 1
+        assert calls, "promotion pressure never reported"
+
+    def test_promotion_charges_migration_traffic(self):
+        perf, _ = make_tiers()
+        pm = PromotionManager(perf, cache_entries=1)
+        pm.stage(rec(1))
+        pm.stage(rec(2))  # evicts 1 -> hot zone write
+        dev = perf.device
+        assert dev.traffic.write_bytes(TrafficKind.MIGRATION) > 0

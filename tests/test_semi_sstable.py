@@ -1,0 +1,176 @@
+"""Unit tests for the semi-SSTable."""
+
+import pytest
+
+from repro.common.keys import KeyRange, encode_key
+from repro.common.errors import ReproError
+from repro.common.records import Record
+from repro.lsm.semi import SemiSSTable
+from repro.simssd import DeviceProfile, SimDevice, SimFilesystem, TrafficKind
+
+
+@pytest.fixture
+def fs():
+    profile = DeviceProfile(
+        name="t",
+        capacity_bytes=16384 * 4096,
+        page_size=4096,
+        read_latency_s=1e-4,
+        write_latency_s=5e-5,
+        read_bandwidth=1e8,
+        write_bandwidth=5e7,
+    )
+    return SimFilesystem(SimDevice(profile))
+
+
+def full_range():
+    return KeyRange(encode_key(0), encode_key(10**9))
+
+
+def recs(ids, value=b"v", seqno_base=1):
+    return [Record(encode_key(i), value, seqno_base + n) for n, i in enumerate(sorted(ids))]
+
+
+@pytest.fixture
+def table(fs):
+    return SemiSSTable(1, fs, full_range(), block_size=512)
+
+
+class TestSemiSSTableBasics:
+    def test_merge_append_and_get(self, table):
+        table.merge_append(recs(range(100)))
+        rec, _ = table.get(encode_key(50))
+        assert rec is not None and rec.value == b"v"
+        assert table.num_valid_records == 100
+
+    def test_get_missing(self, table):
+        table.merge_append(recs(range(10)))
+        rec, _ = table.get(encode_key(999))
+        assert rec is None
+
+    def test_unsorted_input_rejected(self, table):
+        with pytest.raises(ReproError):
+            table.merge_append(
+                [Record(encode_key(5), b"v", 1), Record(encode_key(3), b"v", 2)]
+            )
+
+    def test_out_of_range_rejected(self, fs):
+        t = SemiSSTable(1, fs, KeyRange(encode_key(0), encode_key(100)))
+        with pytest.raises(ReproError):
+            t.merge_append([Record(encode_key(200), b"v", 1)])
+
+    def test_update_supersedes(self, table):
+        table.merge_append(recs(range(10), value=b"old", seqno_base=1))
+        table.merge_append(recs([5], value=b"new", seqno_base=100))
+        rec, _ = table.get(encode_key(5))
+        assert rec.value == b"new"
+        assert table.num_valid_records == 10
+
+    def test_older_incoming_record_ignored(self, table):
+        table.merge_append(recs([5], value=b"new", seqno_base=100))
+        table.merge_append(recs([5], value=b"stale", seqno_base=1))
+        rec, _ = table.get(encode_key(5))
+        assert rec.value == b"new"
+
+    def test_iter_valid_records_sorted(self, table):
+        table.merge_append(recs(range(0, 100, 2)))
+        table.merge_append(recs(range(1, 100, 2), seqno_base=1000))
+        out = list(table.iter_valid_records())
+        assert [r.key for r in out] == [encode_key(i) for i in range(100)]
+
+    def test_iter_from(self, table):
+        table.merge_append(recs(range(50)))
+        out = [r.key for r in table.iter_from(encode_key(45))]
+        assert out == [encode_key(i) for i in range(45, 50)]
+
+
+class TestBlockGranularityMerge:
+    def test_untouched_blocks_stay_clean(self, table):
+        # Two disjoint key clusters land in different blocks.
+        table.merge_append(recs(range(0, 20)))
+        clean_blocks_before = [
+            b.block_id for b in table.blocks if not b.is_dead and b.first_key >= encode_key(10)
+        ]
+        # Update only low keys: blocks holding keys >= 10 must be untouched.
+        table.merge_append(recs(range(0, 3), value=b"upd", seqno_base=1000))
+        still_alive = [
+            b.block_id for b in table.blocks if not b.is_dead and b.block_id in clean_blocks_before
+        ]
+        assert still_alive == clean_blocks_before
+
+    def test_touched_block_records_survive(self, table):
+        table.merge_append(recs(range(0, 8)))
+        # Update one key; its block neighbours must survive the rewrite.
+        table.merge_append(recs([0], value=b"upd", seqno_base=1000))
+        for i in range(8):
+            rec, _ = table.get(encode_key(i))
+            assert rec is not None
+            assert rec.value == (b"upd" if i == 0 else b"v")
+
+    def test_dead_space_accumulates(self, table):
+        table.merge_append(recs(range(100)))
+        size1 = table.file_bytes
+        table.merge_append(recs(range(100), value=b"x", seqno_base=1000))
+        assert table.file_bytes > size1
+        assert table.dead_bytes > 0
+
+    def test_dirty_ratio_tracks_staleness(self, table):
+        table.merge_append(recs(range(100)))
+        assert table.dirty_ratio == 0.0
+        table.merge_append(recs(range(50), value=b"x", seqno_base=1000))
+        assert table.dirty_ratio > 0.0
+
+    def test_append_write_volume_less_than_full_rewrite(self, fs, table):
+        table.merge_append(recs(range(1000), value=b"v" * 64))
+        fs.device.traffic.reset()
+        # A one-key update should write ~one block, not the whole table.
+        table.merge_append(recs([500], value=b"u" * 64, seqno_base=10**6))
+        written = fs.device.traffic.write_bytes(TrafficKind.COMPACTION)
+        assert written < table.file_bytes / 4
+
+    def test_invalidate_only(self, table):
+        table.merge_append(recs(range(10)))
+        table.merge_append([], invalidate_only={encode_key(3)})
+        rec, _ = table.get(encode_key(3))
+        assert rec is None
+        assert table.num_valid_records == 9
+
+
+class TestFullCompact:
+    def test_reclaims_dead_space(self, table):
+        table.merge_append(recs(range(200)))
+        for s in range(5):
+            table.merge_append(recs(range(200), value=bytes([s]), seqno_base=1000 * (s + 1)))
+        assert table.dead_bytes > 0
+        table.full_compact()
+        assert table.dead_bytes == 0
+        assert table.dirty_ratio == 0.0
+        rec, _ = table.get(encode_key(100))
+        assert rec.value == bytes([4])
+        assert table.num_valid_records == 200
+
+    def test_device_space_freed(self, fs, table):
+        table.merge_append(recs(range(500), value=b"v" * 100))
+        for s in range(4):
+            table.merge_append(
+                recs(range(500), value=bytes([s]) * 100, seqno_base=10**4 * (s + 1))
+            )
+        used_before = fs.device.used_bytes
+        table.full_compact()
+        assert fs.device.used_bytes < used_before
+
+    def test_empty_table_full_compact(self, table):
+        table.merge_append(recs(range(5)))
+        table.merge_append([], invalidate_only={encode_key(i) for i in range(5)})
+        table.full_compact()
+        assert table.num_valid_records == 0
+        assert table.file_bytes == 0
+
+
+class TestDestroy:
+    def test_destroy_frees_file(self, fs, table):
+        table.merge_append(recs(range(100)))
+        assert fs.device.used_bytes > 0
+        table.destroy()
+        assert fs.device.used_bytes == 0
+        assert table.num_valid_records == 0

@@ -1,0 +1,124 @@
+"""Tests for workload trace capture, persistence, and replay."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.keys import encode_key
+from repro.bench.context import BenchScale, build_store
+from repro.hotness.interval import (
+    interval_conditional_probabilities,
+    probability_summary,
+)
+from repro.ycsb import Trace, TraceOp, YCSB_WORKLOADS
+
+
+class TestTraceOp:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TraceOp("frobnicate", 1)
+        with pytest.raises(ReproError):
+            TraceOp("get", -1)
+
+
+class TestTraceGeneration:
+    def test_from_workload_mix(self):
+        trace = Trace.from_workload(
+            YCSB_WORKLOADS["A"], operations=2000, record_count=1000, seed=1
+        )
+        assert len(trace) == 2000
+        gets = sum(1 for o in trace if o.op == "get")
+        puts = sum(1 for o in trace if o.op == "put")
+        assert 800 < gets < 1200 and gets + puts == 2000
+
+    def test_rmw_expands_to_two_ops(self):
+        trace = Trace.from_workload(
+            YCSB_WORKLOADS["F"], operations=1000, record_count=500, seed=2
+        )
+        assert len(trace) > 1000  # each RMW contributes get+put
+
+    def test_insert_workload_grows_keys(self):
+        trace = Trace.from_workload(
+            YCSB_WORKLOADS["D"], operations=1000, record_count=500, seed=3
+        )
+        assert max(o.key_id for o in trace) >= 500
+
+    def test_deterministic(self):
+        a = Trace.from_workload(YCSB_WORKLOADS["B"], 500, 200, seed=9)
+        b = Trace.from_workload(YCSB_WORKLOADS["B"], 500, 200, seed=9)
+        assert a.ops == b.ops
+
+
+class TestTracePersistence:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace(
+            [
+                TraceOp("put", 1, 100),
+                TraceOp("get", 1),
+                TraceOp("delete", 2),
+                TraceOp("scan", 0, 10),
+            ]
+        )
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        assert Trace.load(path).ops == trace.ops
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        Trace().save(path)
+        assert len(Trace.load(path)) == 0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nget 5\n")
+        assert Trace.load(path).ops == [TraceOp("get", 5)]
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("get five\n")
+        with pytest.raises(ReproError):
+            Trace.load(path)
+        path.write_text("put 3\n")  # missing size
+        with pytest.raises(ReproError):
+            Trace.load(path)
+
+
+class TestTraceReplay:
+    def test_replay_counts_and_hits(self):
+        store = build_store("hyperdb", BenchScale(record_count=2000))
+        trace = Trace(
+            [TraceOp("put", i, 100) for i in range(100)]
+            + [TraceOp("get", i) for i in range(150)]  # 50 misses
+            + [TraceOp("delete", 0), TraceOp("scan", 1, 5)]
+        )
+        result = trace.replay(store)
+        assert result.puts == 100 and result.gets == 150
+        assert result.hits == 100
+        assert result.hit_rate == pytest.approx(100 / 150)
+        assert result.deletes == 1 and result.scans == 1
+        assert result.scanned_records == 5
+        assert result.operations == 252
+
+    def test_same_trace_same_data_across_engines(self):
+        trace = Trace.from_workload(
+            YCSB_WORKLOADS["A"], operations=800, record_count=400, seed=4
+        )
+        values = {}
+        for name in ("rocksdb", "hyperdb"):
+            store = build_store(name, BenchScale(record_count=400))
+            for i in range(400):
+                store.put(encode_key(i), b"seed-value")
+            trace.replay(store)
+            values[name] = [store.get(encode_key(i))[0] for i in range(400)]
+        assert values["rocksdb"] == values["hyperdb"]
+
+    def test_access_sequence_feeds_interval_analysis(self):
+        trace = Trace.from_workload(
+            YCSB_WORKLOADS["C"], operations=20_000, record_count=1000, seed=5
+        )
+        probs = interval_conditional_probabilities(
+            trace.access_sequence(), threshold=4000, history=1
+        )
+        summary = probability_summary(probs)
+        assert summary["objects"] > 100
+        assert 0.0 <= summary["median"] <= 1.0
+        assert trace.key_count() <= 1000
