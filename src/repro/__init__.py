@@ -21,9 +21,23 @@ Sub-packages: :mod:`repro.core` (HyperDB), :mod:`repro.baselines`
 :mod:`repro.hotness`, :mod:`repro.migration`.
 """
 
+from repro.common.errors import (
+    CorruptionError,
+    PowerLossError,
+    RecoveryError,
+    TransientIOError,
+)
 from repro.common.keys import KeyRange, decode_key, encode_key
 from repro.core import HyperDB, HyperDBConfig, KVStore
-from repro.simssd import NVME_PROFILE, SATA_PROFILE, DeviceProfile, SimDevice
+from repro.simssd import (
+    NVME_PROFILE,
+    SATA_PROFILE,
+    DeviceProfile,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SimDevice,
+)
 
 __version__ = "1.0.0"
 
@@ -38,5 +52,12 @@ __all__ = [
     "SATA_PROFILE",
     "DeviceProfile",
     "SimDevice",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "CorruptionError",
+    "TransientIOError",
+    "PowerLossError",
+    "RecoveryError",
     "__version__",
 ]

@@ -11,6 +11,9 @@ from repro.common.errors import (
     KeyNotFoundError,
     CapacityError,
     CorruptionError,
+    TransientIOError,
+    PowerLossError,
+    RecoveryError,
     ClosedError,
     ConfigError,
 )
@@ -34,6 +37,9 @@ __all__ = [
     "KeyNotFoundError",
     "CapacityError",
     "CorruptionError",
+    "TransientIOError",
+    "PowerLossError",
+    "RecoveryError",
     "ClosedError",
     "ConfigError",
     "Record",

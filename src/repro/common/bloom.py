@@ -92,3 +92,30 @@ class BloomFilter:
         for k in keys:
             bf.add(k)
         return bf
+
+    # ------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize the filter (parameters + bit array) for a manifest."""
+        import struct
+
+        return (
+            struct.pack(">QQI", self.capacity, self._count, self.bits_per_key)
+            + self._bits.tobytes()
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "BloomFilter":
+        """Rebuild a filter serialized by :meth:`to_bytes`."""
+        import struct
+
+        capacity, count, bits_per_key = struct.unpack_from(">QQI", data, 0)
+        bf = BloomFilter(capacity, bits_per_key)
+        bits = np.frombuffer(data[20:], dtype=np.uint8).copy()
+        if len(bits) != len(bf._bits):
+            raise ValueError(
+                f"bloom bit array length {len(bits)} != expected {len(bf._bits)}"
+            )
+        bf._bits = bits
+        bf._count = count
+        return bf

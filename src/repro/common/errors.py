@@ -14,7 +14,49 @@ class CapacityError(ReproError):
 
 
 class CorruptionError(ReproError):
-    """On-media data failed a structural or checksum validation."""
+    """On-media data failed a structural or checksum validation.
+
+    Raised when a block checksum mismatches, a record header is truncated,
+    or a checkpoint fails its CRC — i.e. the bytes read back are not the
+    bytes that were written.  Callers that can degrade gracefully (table
+    quarantine, checkpoint rebuild) catch this; it is never retried, since
+    re-reading corrupt media returns the same corrupt bytes.
+    """
+
+
+class TransientIOError(ReproError):
+    """A device I/O failed transiently (injected or modeled media hiccup).
+
+    Raised by :class:`repro.simssd.device.SimDevice` only after the
+    configured :class:`repro.simssd.faults.RetryPolicy` is exhausted; each
+    failed attempt is still charged to the traffic ledger.  Distinct from
+    :class:`CorruptionError`: retrying a transient error can succeed.
+    """
+
+
+class PowerLossError(ReproError):
+    """The simulated device lost power (an injected crash point).
+
+    The write in flight when power is lost may be torn: only a prefix of
+    its bytes reach media.  ``torn_fraction`` is the fraction persisted
+    (1.0 = fully durable, 0.0 = nothing).  After power loss every further
+    I/O on the device raises this error until the post-crash image is
+    reopened (or the injector is rebooted).
+    """
+
+    def __init__(self, message: str, torn_fraction: float = 0.0) -> None:
+        super().__init__(message)
+        self.torn_fraction = torn_fraction
+
+
+class RecoveryError(ReproError):
+    """Recovery could not restore a usable, consistent engine state.
+
+    Raised when a partition is asked to recover without any checkpoint, or
+    when a strict recovery finds corrupt metadata and degraded rebuild was
+    disallowed.  Non-strict recovery paths catch the underlying
+    :class:`CorruptionError` and rebuild degraded instead of raising this.
+    """
 
 
 class ClosedError(ReproError):

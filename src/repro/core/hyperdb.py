@@ -201,11 +201,28 @@ class HyperDB(KVStore):
         self.finalize()
         return sum(p.checkpoint() for p in self.performance_tier.partitions)
 
-    def recover(self) -> float:
+    def recover(self, strict: bool = False) -> float:
         """Rebuild all partitions' in-memory state from their checkpoints
         (simulates a restart where DRAM content was lost but media
-        survived).  Returns the service time."""
-        return sum(p.recover() for p in self.performance_tier.partitions)
+        survived).  Returns the service time.
+
+        A partition whose checkpoint is missing or fails its CRC cannot be
+        rebuilt; by default it degrades to an empty partition (counted in
+        the ``degraded_partitions`` stat) so the rest of the store still
+        opens.  With ``strict=True`` the failure propagates instead
+        (:class:`RecoveryError` / :class:`CorruptionError`)."""
+        from repro.common.errors import CorruptionError, RecoveryError
+
+        service = 0.0
+        for p in self.performance_tier.partitions:
+            try:
+                service += p.recover()
+            except (CorruptionError, RecoveryError):
+                if strict:
+                    raise
+                p.reset_state()
+                self.stats.counter("degraded_partitions").add()
+        return service
 
     # ----------------------------------------------------------- metrics
 

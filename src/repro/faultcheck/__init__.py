@@ -1,0 +1,34 @@
+"""Crash-consistency and fault-tolerance harness.
+
+Runs the engines under :mod:`repro.simssd.faults` fault plans — power loss
+at sampled write-I/O ordinals, transient error storms — and verifies the
+recovery contracts end to end:
+
+* every synced-acknowledged write is readable after recovery;
+* recovered state is a consistent prefix of the issued operations (never
+  garbage, never out of order);
+* transient errors are absorbed by the device retry policy, with the
+  retried traffic visible in the ledger.
+
+Entry points: :func:`run_lsm_crash_matrix`,
+:func:`run_hyperdb_crash_matrix`, :func:`run_transient_absorption`, or
+``python -m repro.faultcheck`` for the CLI.
+"""
+
+from repro.faultcheck.harness import (
+    CrashPointResult,
+    MatrixReport,
+    TransientReport,
+    run_hyperdb_crash_matrix,
+    run_lsm_crash_matrix,
+    run_transient_absorption,
+)
+
+__all__ = [
+    "CrashPointResult",
+    "MatrixReport",
+    "TransientReport",
+    "run_hyperdb_crash_matrix",
+    "run_lsm_crash_matrix",
+    "run_transient_absorption",
+]

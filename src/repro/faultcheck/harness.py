@@ -1,0 +1,535 @@
+"""Workload → crash → recover → verify, over seeded fault plans.
+
+The harness drives a deterministic workload against an engine whose devices
+share one :class:`FaultInjector` (whole-node power loss), crashes it at a
+sampled write-I/O ordinal, rebuilds the engine from what survived on media,
+and checks the recovery contract:
+
+* **LSM / RocksDB-like** — the recovered store must equal the state after
+  some *prefix* of the issued operations, at least as long as the durable
+  watermark (``WriteAheadLog.total_synced_records``): every synced-
+  acknowledged write is readable, acked-but-unsynced writes may or may not
+  survive (torn group commit), and nothing out-of-order or corrupt ever
+  appears.
+* **HyperDB** — the performance tier recovers to its last index checkpoint:
+  every pre-checkpoint object must come back with its checkpoint-time
+  value; post-checkpoint writes are lost (documented §3.1 semantics) and
+  must read as missing, never as garbage.
+* **Transient absorption** — under a seeded error rate, the device retry
+  policy must absorb every fault (no ``TransientIOError`` escapes), values
+  must stay intact, and the retried traffic must be visible in the ledger.
+
+Everything is seeded: a failing crash point reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import PowerLossError, TransientIOError
+from repro.common.keys import KeyRange, encode_key
+from repro.core.config import HyperDBConfig
+from repro.core.hyperdb import HyperDB
+from repro.lsm.lsmtree import DbPath, LSMOptions, LSMTree
+from repro.nvme.config import NVMeConfig
+from repro.simssd.device import SimDevice
+from repro.simssd.faults import FaultInjector, FaultPlan
+from repro.simssd.fs import SimFilesystem
+from repro.simssd.profiles import DeviceProfile
+
+KiB = 1024
+MiB = 1024 * KiB
+
+#: Small devices so a few hundred operations produce flushes, compactions,
+#: and migrations — i.e. crash points inside every background path.
+_NVME_PROFILE = DeviceProfile(
+    name="nvme",
+    capacity_bytes=4 * MiB,
+    page_size=4096,
+    read_latency_s=8e-5,
+    write_latency_s=2e-5,
+    read_bandwidth=6.5e9,
+    write_bandwidth=3.5e9,
+)
+_SATA_PROFILE = DeviceProfile(
+    name="sata",
+    capacity_bytes=64 * MiB,
+    page_size=4096,
+    read_latency_s=2e-4,
+    write_latency_s=6e-5,
+    read_bandwidth=5.6e8,
+    write_bandwidth=5.1e8,
+)
+
+
+# --------------------------------------------------------------- reporting
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one workload → crash → recover → verify cycle."""
+
+    engine: str
+    crash_after_write_io: int
+    ops_issued: int = 0
+    ops_acked: int = 0
+    durable_watermark: int = 0
+    recovered_prefix: int = -1
+    wal_truncated: bool = False
+    ok: bool = False
+    detail: str = ""
+
+
+@dataclass
+class MatrixReport:
+    """All crash points tried for one engine."""
+
+    engine: str
+    total_write_ios: int
+    results: list[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    def summary(self) -> str:
+        good = sum(1 for r in self.results if r.ok)
+        lines = [
+            f"[{self.engine}] {good}/{len(self.results)} crash points verified "
+            f"(workload spans {self.total_write_ios} write I/Os)"
+        ]
+        for r in self.results:
+            status = "ok " if r.ok else "FAIL"
+            lines.append(
+                f"  {status} crash@{r.crash_after_write_io:>5}  "
+                f"acked={r.ops_acked:<4} durable={r.durable_watermark:<4} "
+                f"recovered_prefix={r.recovered_prefix:<4}"
+                + (f" torn-wal" if r.wal_truncated else "")
+                + (f"  {r.detail}" if r.detail else "")
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class TransientReport:
+    """Outcome of a transient-error absorption run."""
+
+    engine: str
+    transient_faults: int = 0
+    retried_ios: int = 0
+    clean_bytes: int = 0
+    faulty_bytes: int = 0
+    backoff_seconds: float = 0.0
+    errors_surfaced: int = 0
+    values_verified: int = 0
+    mismatches: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.errors_surfaced == 0
+            and self.mismatches == 0
+            and self.transient_faults > 0
+            and self.retried_ios > 0
+            and self.faulty_bytes > self.clean_bytes
+        )
+
+    def summary(self) -> str:
+        status = "ok " if self.passed else "FAIL"
+        return (
+            f"[{self.engine}] {status} transient absorption: "
+            f"{self.transient_faults} faults absorbed via {self.retried_ios} "
+            f"retried I/Os, ledger {self.clean_bytes} → {self.faulty_bytes} bytes, "
+            f"{self.values_verified} values verified "
+            f"({self.errors_surfaced} errors surfaced, {self.mismatches} mismatches)"
+        )
+
+
+# --------------------------------------------------------- LSM crash matrix
+
+
+def _lsm_options() -> LSMOptions:
+    # Tiny geometry: a couple hundred operations exercise flush, L0→L1
+    # compaction, manifest rotation, and WAL group commits many times over.
+    return LSMOptions(
+        memtable_bytes=2 * KiB,
+        table_size_bytes=2 * KiB,
+        block_size=512,
+        level0_trigger=2,
+        level_base_bytes=4 * KiB,
+        level_multiplier=4,
+        wal_group_size=8,
+        manifest_enabled=True,
+    )
+
+
+def _lsm_ops(seed: int, n: int) -> list[tuple[str, bytes, Optional[bytes]]]:
+    """Deterministic put/delete stream over a small key universe.
+
+    Values embed the op index so that distinct prefixes of the stream are
+    byte-distinguishable during verification.
+    """
+    rng = random.Random(seed)
+    ops: list[tuple[str, bytes, Optional[bytes]]] = []
+    for i in range(n):
+        key = b"key%04d" % rng.randrange(48)
+        if rng.random() < 0.12:
+            ops.append(("del", key, None))
+        else:
+            pad = bytes(rng.randrange(256) for _ in range(rng.randrange(8, 40)))
+            ops.append(("put", key, b"v%05d." % i + pad))
+    return ops
+
+
+def _build_lsm(
+    injector: Optional[FaultInjector], two_tier: bool
+) -> LSMTree:
+    if two_tier:
+        nvme = SimDevice(_NVME_PROFILE, injector=injector)
+        sata = SimDevice(_SATA_PROFILE, injector=injector)
+        paths = [
+            DbPath(SimFilesystem(nvme), target_bytes=24 * KiB),
+            DbPath(SimFilesystem(sata), target_bytes=1 << 62),
+        ]
+    else:
+        dev = SimDevice(_NVME_PROFILE, injector=injector)
+        paths = [DbPath(SimFilesystem(dev), target_bytes=1 << 62)]
+    return LSMTree(paths, _lsm_options())
+
+
+def _state_after(
+    ops: list[tuple[str, bytes, Optional[bytes]]], prefix: int
+) -> dict[bytes, Optional[bytes]]:
+    state: dict[bytes, Optional[bytes]] = {}
+    for op, key, val in ops[:prefix]:
+        state[key] = val if op == "put" else None
+    return state
+
+
+def _match_prefix(
+    ops: list[tuple[str, bytes, Optional[bytes]]],
+    recovered: dict[bytes, Optional[bytes]],
+    lo: int,
+    hi: int,
+) -> int:
+    """The prefix length in [lo, hi] whose state equals ``recovered``, or -1."""
+    keys = {key for _, key, _ in ops}
+    for prefix in range(hi, lo - 1, -1):
+        state = _state_after(ops, prefix)
+        if all(recovered.get(k) == state.get(k) for k in keys):
+            return prefix
+    return -1
+
+
+def run_lsm_crash_matrix(
+    num_points: int = 10,
+    seed: int = 0,
+    num_ops: int = 240,
+    two_tier: bool = True,
+    on_progress: Optional[Callable[[CrashPointResult], None]] = None,
+) -> MatrixReport:
+    """Crash the LSM engine at ``num_points`` sampled write-I/O ordinals.
+
+    ``two_tier=True`` runs the RocksDB-like baseline configuration (levels
+    spanning NVMe + SATA via db_paths, one injector for both devices).
+    """
+    engine = "rocksdb-like" if two_tier else "lsm"
+    ops = _lsm_ops(seed, num_ops)
+
+    # Probe run: same workload, no faults, to learn the write-I/O span.
+    probe = FaultInjector(FaultPlan(seed=seed))
+    tree = _build_lsm(probe, two_tier)
+    for op, key, val in ops:
+        tree.put(key, val) if op == "put" else tree.delete(key)
+    total = probe.write_ios
+    report = MatrixReport(engine=engine, total_write_ios=total)
+
+    rng = random.Random(seed ^ 0x5AFE)
+    points = sorted(rng.sample(range(1, total + 1), min(num_points, total)))
+    for point in points:
+        result = _run_lsm_crash_point(ops, point, seed, two_tier, engine)
+        report.results.append(result)
+        if on_progress is not None:
+            on_progress(result)
+    return report
+
+
+def _run_lsm_crash_point(
+    ops: list[tuple[str, bytes, Optional[bytes]]],
+    point: int,
+    seed: int,
+    two_tier: bool,
+    engine: str,
+) -> CrashPointResult:
+    result = CrashPointResult(engine=engine, crash_after_write_io=point)
+    injector = FaultInjector(
+        FaultPlan(seed=seed * 1_000_003 + point, crash_after_write_io=point)
+    )
+    tree = _build_lsm(injector, two_tier)
+    acked = 0
+    crashed = False
+    for op, key, val in ops:
+        try:
+            tree.put(key, val) if op == "put" else tree.delete(key)
+        except PowerLossError:
+            crashed = True
+            break
+        acked += 1
+    result.ops_acked = acked
+    result.ops_issued = acked + (1 if crashed else 0)
+    result.durable_watermark = (
+        tree.wal.total_synced_records if tree.wal is not None else acked
+    )
+
+    # Freeze whatever is on media and reopen from it.
+    images = [
+        DbPath(p.fs.post_crash_image(), target_bytes=p.target_bytes)
+        for p in tree.paths
+    ]
+    reopened = LSMTree.reopen(images, _lsm_options())
+    assert reopened.recovery_report is not None
+    result.wal_truncated = reopened.recovery_report.wal_truncated
+
+    recovered: dict[bytes, Optional[bytes]] = {}
+    for key in sorted({k for _, k, _ in ops}):
+        value, _ = reopened.get(key)
+        recovered[key] = value
+    result.recovered_prefix = _match_prefix(
+        ops, recovered, result.durable_watermark, result.ops_issued
+    )
+    if result.recovered_prefix < 0:
+        result.detail = (
+            "recovered state matches no op prefix >= the durable watermark"
+        )
+    else:
+        result.ok = True
+    return result
+
+
+# ----------------------------------------------------- HyperDB crash matrix
+
+
+def _hyperdb_config() -> HyperDBConfig:
+    return HyperDBConfig(
+        key_space=KeyRange(encode_key(0), encode_key(50_000)),
+        nvme=NVMeConfig(
+            num_partitions=2,
+            initial_zones_per_partition=2,
+            migration_batch_bytes=16 * KiB,
+        ),
+        semi_num_levels=3,
+        semi_size_ratio=4,
+        semi_bottom_segments=16,
+        semi_level1_target_bytes=128 * KiB,
+    )
+
+
+def _build_hyperdb(injector: Optional[FaultInjector]) -> HyperDB:
+    nvme = SimDevice(_NVME_PROFILE, injector=injector)
+    sata = SimDevice(_SATA_PROFILE, injector=injector)
+    return HyperDB(nvme, sata, _hyperdb_config())
+
+
+def _hyperdb_workloads(
+    seed: int, w1_ops: int, w2_ops: int
+) -> tuple[list[tuple[bytes, bytes]], list[tuple[bytes, bytes]]]:
+    """Two put streams over *disjoint* key ranges.
+
+    W2 keys are fresh so the post-checkpoint writes never overwrite or
+    relocate checkpointed objects — the checkpoint's recovery guarantee
+    covers exactly the W1 state.
+    """
+    rng = random.Random(seed)
+    w1 = []
+    for i in range(w1_ops):
+        key = encode_key(rng.randrange(0, 2_000))
+        pad = bytes(rng.randrange(256) for _ in range(rng.randrange(16, 56)))
+        w1.append((key, b"w1-%05d." % i + pad))
+    w2 = []
+    for i in range(w2_ops):
+        key = encode_key(rng.randrange(30_000, 31_000))
+        pad = bytes(rng.randrange(256) for _ in range(rng.randrange(16, 56)))
+        w2.append((key, b"w2-%05d." % i + pad))
+    return w1, w2
+
+
+def run_hyperdb_crash_matrix(
+    num_points: int = 10,
+    seed: int = 0,
+    w1_ops: int = 260,
+    w2_ops: int = 60,
+    on_progress: Optional[Callable[[CrashPointResult], None]] = None,
+) -> MatrixReport:
+    """Crash HyperDB at sampled points *after* its index checkpoint.
+
+    Contract (§3.1): recovery rebuilds the performance tier from the last
+    checkpoint, so every checkpointed object must read back with its
+    checkpoint-time value; post-checkpoint writes are lost and must read as
+    missing — never as garbage.
+    """
+    w1, w2 = _hyperdb_workloads(seed, w1_ops, w2_ops)
+
+    # Probe run: find the write-I/O ordinal where the checkpoint completes
+    # and where the post-checkpoint workload ends.
+    probe = FaultInjector(FaultPlan(seed=seed))
+    db = _build_hyperdb(probe)
+    for key, val in w1:
+        db.put(key, val)
+    db.checkpoint()
+    ckpt_io = probe.write_ios
+    for key, val in w2:
+        db.put(key, val)
+    total = probe.write_ios
+    report = MatrixReport(engine="hyperdb", total_write_ios=total)
+    if total <= ckpt_io:
+        raise RuntimeError("post-checkpoint workload produced no write I/O")
+
+    rng = random.Random(seed ^ 0xC4A5)
+    span = range(ckpt_io + 1, total + 1)
+    points = sorted(rng.sample(span, min(num_points, len(span))))
+    for point in points:
+        result = _run_hyperdb_crash_point(w1, w2, point, seed)
+        report.results.append(result)
+        if on_progress is not None:
+            on_progress(result)
+    return report
+
+
+def _run_hyperdb_crash_point(
+    w1: list[tuple[bytes, bytes]],
+    w2: list[tuple[bytes, bytes]],
+    point: int,
+    seed: int,
+) -> CrashPointResult:
+    result = CrashPointResult(engine="hyperdb", crash_after_write_io=point)
+    injector = FaultInjector(
+        FaultPlan(seed=seed * 1_000_003 + point, crash_after_write_io=point)
+    )
+    db = _build_hyperdb(injector)
+    checkpoint_state: dict[bytes, bytes] = {}
+    for key, val in w1:
+        db.put(key, val)
+        checkpoint_state[key] = val
+    db.checkpoint()
+    result.durable_watermark = len(w1)
+
+    acked = 0
+    crashed = False
+    for key, val in w2:
+        try:
+            db.put(key, val)
+        except PowerLossError:
+            crashed = True
+            break
+        acked += 1
+    result.ops_acked = len(w1) + acked
+    result.ops_issued = result.ops_acked + (1 if crashed else 0)
+    if not crashed:
+        result.detail = "crash point never fired during W2"
+        return result
+
+    # Reboot on the surviving media and recover from the checkpoint.
+    injector.reboot()
+    db.recover()
+
+    bad = 0
+    for key, want in checkpoint_state.items():
+        got, _ = db.get(key)
+        if got != want:
+            bad += 1
+    lost = 0
+    for key, _ in w2:
+        got, _ = db.get(key)
+        if got is not None:
+            lost += 1  # a post-checkpoint write must read as missing
+    if bad or lost:
+        result.detail = (
+            f"{bad} checkpointed values wrong, "
+            f"{lost} post-checkpoint keys resurrected"
+        )
+    else:
+        result.recovered_prefix = len(w1)
+        result.ok = True
+    return result
+
+
+# ------------------------------------------------------ transient absorption
+
+
+def run_transient_absorption(
+    engine: str = "rocksdb-like",
+    seed: int = 0,
+    num_ops: int = 240,
+    error_rate: float = 0.02,
+) -> TransientReport:
+    """Run a workload under a seeded transient-error storm and verify that
+    the device retry policy absorbs every fault, values stay intact, and the
+    retried traffic shows up in the ledger."""
+    report = TransientReport(engine=engine)
+
+    def run(injector: Optional[FaultInjector]) -> tuple[int, int, dict]:
+        surfaced = 0
+        mismatches = 0
+        if engine == "hyperdb":
+            db = _build_hyperdb(injector)
+            expected: dict[bytes, bytes] = {}
+            w1, _ = _hyperdb_workloads(seed, num_ops, 0)
+            for key, val in w1:
+                try:
+                    db.put(key, val)
+                    expected[key] = val
+                except TransientIOError:
+                    surfaced += 1
+            devices = [db.nvme_device, db.sata_device]
+            for key, want in expected.items():
+                try:
+                    got, _ = db.get(key)
+                except TransientIOError:
+                    surfaced += 1
+                    continue
+                if got != want:
+                    mismatches += 1
+        else:
+            tree = _build_lsm(injector, two_tier=(engine == "rocksdb-like"))
+            ops = _lsm_ops(seed, num_ops)
+            for op, key, val in ops:
+                try:
+                    tree.put(key, val) if op == "put" else tree.delete(key)
+                except TransientIOError:
+                    surfaced += 1
+            devices = [p.fs.device for p in tree.paths]
+            final = _state_after(ops, len(ops))
+            for key, want in final.items():
+                try:
+                    got, _ = tree.get(key)
+                except TransientIOError:
+                    surfaced += 1
+                    continue
+                if got != want:
+                    mismatches += 1
+            expected = final
+        stats = {
+            "bytes": sum(d.traffic.total_bytes() for d in devices),
+            "retried": sum(d.retried_ios for d in devices),
+            "verified": len(expected),
+        }
+        return surfaced, mismatches, stats
+
+    _, _, clean = run(None)
+    injector = FaultInjector(
+        FaultPlan(
+            seed=seed, read_error_rate=error_rate, write_error_rate=error_rate
+        )
+    )
+    surfaced, mismatches, faulty = run(injector)
+
+    report.clean_bytes = clean["bytes"]
+    report.faulty_bytes = faulty["bytes"]
+    report.retried_ios = faulty["retried"]
+    report.transient_faults = injector.transient_faults
+    report.errors_surfaced = surfaced
+    report.mismatches = mismatches
+    report.values_verified = faulty["verified"]
+    return report

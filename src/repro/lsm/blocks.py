@@ -54,6 +54,37 @@ def decode_records(data: bytes) -> Iterator[Record]:
         yield Record(key, value, seqno, deleted=bool(flags & _FLAG_TOMBSTONE))
 
 
+def decode_prefix(data: bytes) -> tuple[list[Record], int, bool]:
+    """Decode the longest clean prefix of back-to-back records.
+
+    Unlike :func:`decode_records`, a truncated or structurally implausible
+    record does not raise: decoding stops at the first bad record and the
+    prefix decoded so far is returned.  This is what a torn WAL tail looks
+    like after a crash — every record before the tear is intact, the tear
+    itself is garbage.
+
+    Returns ``(records, bytes_consumed, truncated)`` where ``truncated`` is
+    True when trailing bytes past ``bytes_consumed`` were dropped.
+    """
+    records: list[Record] = []
+    pos = 0
+    end = len(data)
+    while pos < end:
+        if pos + _HEADER.size > end:
+            return records, pos, True
+        seqno, flags, klen, vlen = _HEADER.unpack_from(data, pos)
+        body = pos + _HEADER.size
+        if flags & ~_FLAG_TOMBSTONE or body + klen + vlen > end:
+            return records, pos, True
+        key = data[body : body + klen]
+        value = data[body + klen : body + klen + vlen]
+        records.append(
+            Record(key, value, seqno, deleted=bool(flags & _FLAG_TOMBSTONE))
+        )
+        pos = body + klen + vlen
+    return records, pos, False
+
+
 def encode_block(records: Iterable[Record]) -> bytes:
     """Encode records into a checksummed data block."""
     payload = b"".join(encode_record(r) for r in records)

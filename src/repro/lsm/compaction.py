@@ -63,6 +63,11 @@ class LeveledCompactor:
         Number of L0 tables that makes L0 eligible for compaction.
     level_base_bytes / level_multiplier:
         Target size of the first sorted level and the growth ratio.
+    on_install:
+        Optional callback invoked after a compaction's version change is
+        applied but *before* the input files are deleted — the tree uses it
+        to make the new version durable (manifest) first, so a crash in
+        between leaks files instead of losing referenced ones.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class LeveledCompactor:
         level0_trigger: int = 4,
         level_base_bytes: int = 1 << 20,
         level_multiplier: int = 10,
+        on_install: Optional[Callable[[], float]] = None,
     ) -> None:
         self.version = version
         self.fs_for_level = fs_for_level
@@ -84,6 +90,7 @@ class LeveledCompactor:
         self.level0_trigger = level0_trigger
         self.level_base_bytes = level_base_bytes
         self.level_multiplier = level_multiplier
+        self.on_install = on_install
         self.stats = CompactionStats()
         self._cursors: Dict[int, bytes] = {}  # round-robin victim cursor per level
 
@@ -198,13 +205,16 @@ class LeveledCompactor:
         write_bytes = sum(t.size_bytes for t in outputs)
         self.stats.note(child_no, read_bytes, write_bytes)
 
-        # Install outputs, retire inputs.
+        # Install outputs, retire inputs; the version change is made durable
+        # (on_install → manifest) before any input file is destroyed.
         for t in parents:
             self.version.remove_table(parent_no, t)
         for t in children:
             self.version.remove_table(child_no, t)
         for t in outputs:
             self.version.add_table(child_no, t)
+        if self.on_install is not None:
+            self.on_install()
         for t in parents:
             self._delete_table_file(parent_no, t)
         for t in children:

@@ -14,17 +14,24 @@ use of the fast path is therefore coarse-grained.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.common.cache import LRUCache
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, CorruptionError
 from repro.common.records import Record
 from repro.common.stats import StatsRegistry
 from repro.lsm.compaction import LeveledCompactor
 from repro.lsm.iterator import merge_records
+from repro.lsm.manifest import (
+    MANIFEST_PREFIX,
+    HandleMeta,
+    ManifestStore,
+    TableMeta,
+    bloom_from_meta,
+)
 from repro.lsm.memtable import MemTable
-from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.sstable import BlockHandle, SSTable, SSTableBuilder
 from repro.lsm.version import Version
 from repro.lsm.wal import WriteAheadLog
 from repro.simssd.fs import SimFilesystem
@@ -50,6 +57,11 @@ class LSMOptions:
     wal_group_size: int = 32
     wal_enabled: bool = True
     block_cache_bytes: int = 0  # 0 = no cache; baselines pass the shared LRU
+    #: Persist version metadata (a RocksDB-style MANIFEST) after every
+    #: flush/compaction so the tree can be reopened from a post-crash image.
+    #: Off by default: the paper's benchmark configuration does not model
+    #: metadata journaling, and manifest writes are real charged I/O.
+    manifest_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.memtable_bytes <= 0 or self.table_size_bytes <= 0:
@@ -66,6 +78,19 @@ class DbPath:
 
     fs: SimFilesystem
     target_bytes: int
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`LSMTree.reopen` found and did."""
+
+    tables_recovered: int = 0
+    wal_records_replayed: int = 0
+    wal_truncated: bool = False
+    wal_dropped_bytes: int = 0
+    leaked_files_removed: int = 0
+    manifest_found: bool = False
+    notes: list[str] = field(default_factory=list)
 
 
 class LSMTree:
@@ -87,6 +112,7 @@ class LSMTree:
         paths: list[DbPath] | SimFilesystem,
         options: Optional[LSMOptions] = None,
         cache: Optional[LRUCache] = None,
+        recover_existing: bool = False,
     ) -> None:
         if isinstance(paths, SimFilesystem):
             paths = [DbPath(paths, target_bytes=1 << 62)]
@@ -101,6 +127,12 @@ class LSMTree:
         self.version = Version(opts.num_levels, first_level=opts.first_level)
         self._level_paths = self._assign_levels_to_paths()
         self._table_seq = 0
+        self._manifest = (
+            ManifestStore(paths[0].fs) if opts.manifest_enabled else None
+        )
+        #: Tables pulled from service after a block failed its checksum.
+        #: Their files are kept on media for forensics but never read again.
+        self.quarantined: list[SSTable] = []
         self.compactor = LeveledCompactor(
             self.version,
             self.fs_for_level,
@@ -110,19 +142,54 @@ class LSMTree:
             level0_trigger=opts.level0_trigger,
             level_base_bytes=opts.level_base_bytes,
             level_multiplier=opts.level_multiplier,
+            on_install=self._write_manifest if opts.manifest_enabled else None,
         )
 
         self._seqno = 0
         self._memtable = MemTable(opts.memtable_bytes)
         self._immutables: list[MemTable] = []
         self.wal = (
-            WriteAheadLog(paths[0].fs, name="wal", group_size=opts.wal_group_size)
+            WriteAheadLog(
+                paths[0].fs,
+                name="wal",
+                group_size=opts.wal_group_size,
+                reuse_existing=recover_existing,
+            )
             if opts.wal_enabled
             else None
         )
         #: Service time charged to foreground ops since construction;
         #: the workload runner converts this into latency samples.
         self.last_op_service = 0.0
+        #: Populated by :meth:`reopen`.
+        self.recovery_report: Optional[RecoveryReport] = None
+        if recover_existing:
+            self.recovery_report = self._recover_state()
+
+    @classmethod
+    def reopen(
+        cls,
+        paths: list[DbPath] | SimFilesystem,
+        options: Optional[LSMOptions] = None,
+        cache: Optional[LRUCache] = None,
+    ) -> "LSMTree":
+        """Open a tree over filesystems that already hold its files.
+
+        Rebuilds the version from the newest intact manifest, garbage-
+        collects table files the manifest doesn't reference (half-written
+        tables from a crash mid-flush/compaction), replays the WAL's clean
+        prefix into the memtable, and truncates any torn WAL tail.  The
+        result is readable/writable; ``tree.recovery_report`` says what was
+        recovered and what was dropped.
+        """
+        opts = options or LSMOptions()
+        if not opts.manifest_enabled:
+            # Without a durable manifest only the WAL is recoverable.
+            # reopen() is the crash-recovery entry point, so turn it on.
+            from dataclasses import replace
+
+            opts = replace(opts, manifest_enabled=True)
+        return cls(paths, opts, cache, recover_existing=True)
 
     # ------------------------------------------------------- level layout
 
@@ -165,6 +232,114 @@ class LSMTree:
         self._seqno += 1
         return self._seqno
 
+    # --------------------------------------------------- durable metadata
+
+    def _write_manifest(self) -> float:
+        """Snapshot the version into the manifest (no-op when disabled)."""
+        if self._manifest is None:
+            return 0.0
+        tables: list[TableMeta] = []
+        for lvl in self.version.all_levels():
+            for t in lvl:
+                tables.append(
+                    TableMeta(
+                        level=lvl.level,
+                        table_id=t.table_id,
+                        num_records=t.num_records,
+                        file_name=t.file.name,
+                        bloom=t.bloom.to_bytes(),
+                        handles=[
+                            HandleMeta(
+                                h.first_key, h.last_key, h.offset, h.length,
+                                h.num_records,
+                            )
+                            for h in t.handles
+                        ],
+                    )
+                )
+        return self._manifest.write(tables, self._table_seq)
+
+    def _recover_state(self) -> RecoveryReport:
+        """Rebuild version + memtable from on-media state (post-crash)."""
+        report = RecoveryReport()
+        referenced: set[str] = set()
+        if self._manifest is not None:
+            metas, table_seq, notes = self._manifest.load_latest()
+            report.notes.extend(notes)
+            if metas is not None:
+                report.manifest_found = True
+                self._table_seq = max(self._table_seq, table_seq)
+                for meta in metas:
+                    fs = self._find_fs_with(meta.file_name)
+                    if fs is None:
+                        report.notes.append(
+                            f"manifest references missing file {meta.file_name!r}"
+                        )
+                        continue
+                    handles = [
+                        BlockHandle(
+                            h.first_key, h.last_key, h.offset, h.length,
+                            h.num_records,
+                        )
+                        for h in meta.handles
+                    ]
+                    table = SSTable(
+                        meta.table_id,
+                        fs.open(meta.file_name),
+                        handles,
+                        bloom_from_meta(meta),
+                        meta.num_records,
+                    )
+                    self.version.add_table(meta.level, table)
+                    referenced.add(meta.file_name)
+                    report.tables_recovered += 1
+        # GC table files no durable metadata references (crash leftovers).
+        # Only safe when a manifest was found: without one, "unreferenced"
+        # would mean every table file.
+        if report.manifest_found:
+            for path in self.paths:
+                for f in list(path.fs.files()):
+                    if f.name.startswith("sst_") and f.name not in referenced:
+                        path.fs.delete(f.name)
+                        report.leaked_files_removed += 1
+        if self.wal is not None:
+            replay = self.wal.replay()
+            report.wal_records_replayed = len(replay)
+            report.wal_truncated = replay.truncated
+            report.wal_dropped_bytes = replay.dropped_bytes
+            if replay.truncated:
+                self.wal.truncate_torn_tail(replay.valid_bytes)
+                report.notes.append(
+                    f"WAL tail torn: dropped {replay.dropped_bytes} bytes"
+                )
+            for rec in replay:
+                self._memtable.put(rec)
+                if rec.seqno > self._seqno:
+                    self._seqno = rec.seqno
+            self.wal.note_recovered(len(replay))
+        return report
+
+    def _find_fs_with(self, name: str) -> Optional[SimFilesystem]:
+        for path in self.paths:
+            if path.fs.exists(name):
+                return path.fs
+        return None
+
+    def _quarantine(self, level_no: int, table: SSTable) -> None:
+        """Pull a table whose data failed its checksum out of service.
+
+        The corrupt file stays on media (for forensics / re-replication in
+        a real deployment) but is dropped from the version — and from the
+        durable manifest — so no reader ever sees its bytes again.
+        """
+        try:
+            self.version.remove_table(level_no, table)
+        except Exception:
+            pass  # already removed by a concurrent quarantine
+        self.quarantined.append(table)
+        self.stats.counter("quarantined_tables").add()
+        self._write_manifest()
+
     # ------------------------------------------------------------- writes
 
     def put(self, key: bytes, value: bytes) -> float:
@@ -193,7 +368,13 @@ class LSMTree:
         return service
 
     def flush(self) -> float:
-        """Rotate the memtable and persist it as an L0 (or L1) table."""
+        """Rotate the memtable and persist it as an L0 (or L1) table.
+
+        Crash-safe ordering: WAL sync → table build → manifest snapshot →
+        WAL reset.  A crash before the manifest is durable leaves the old
+        manifest *and* the un-reset WAL, so replay recovers everything; a
+        crash after leaves the new manifest referencing the new table.
+        """
         if len(self._memtable) == 0:
             return 0.0
         if self.wal is not None:
@@ -202,6 +383,7 @@ class LSMTree:
         self._memtable = MemTable(self.options.memtable_bytes, seed=self._table_seq + 1)
         self._immutables.append(imm)
         service = self._flush_immutables()
+        service += self._write_manifest()
         if self.wal is not None:
             self.wal.reset()
         self.maybe_compact()
@@ -261,11 +443,15 @@ class LSMTree:
             outputs.append(builder.finish())
         for t in overlaps:
             self.version.remove_table(level_no, t)
+        for t in outputs:
+            self.version.add_table(level_no, t)
+        # Make the new version durable before destroying its inputs, so a
+        # crash in between leaks files instead of losing referenced ones.
+        self._write_manifest()
+        for t in overlaps:
             fs_owner = self.fs_for_level(level_no)
             if fs_owner.exists(t.file.name):
                 fs_owner.delete(t.file.name)
-        for t in outputs:
-            self.version.add_table(level_no, t)
 
     def ingest_batch(self, records: list[Record], kind=TrafficKind.MIGRATION) -> float:
         """Merge a sorted, durable batch straight into the tree, bypassing
@@ -288,6 +474,7 @@ class LSMTree:
             for rec in records:
                 builder.add(rec)
             self.version.add_table(0, builder.finish())
+            self._write_manifest()
         else:
             self._merge_into_sorted_level(first, records, kind)
         service = fs.device.busy_seconds() - busy_before
@@ -317,7 +504,13 @@ class LSMTree:
         if first == 0:
             for table in reversed(list(self.version.level(0))):
                 if table.first_key <= key <= table.last_key:
-                    rec, s = table.get(key, TrafficKind.FOREGROUND, self.cache)
+                    try:
+                        rec, s = table.get(key, TrafficKind.FOREGROUND, self.cache)
+                    except CorruptionError:
+                        # Checksums caught bad media: take the table out of
+                        # service rather than surface garbage or crash.
+                        self._quarantine(0, table)
+                        continue
                     service += s
                     if rec is not None:
                         self.last_op_service = service
@@ -328,7 +521,11 @@ class LSMTree:
             candidates = self.version.overlapping(level_no, key, key + b"\x00")
             if not candidates:
                 continue
-            rec, s = candidates[0].get(key, TrafficKind.FOREGROUND, self.cache)
+            try:
+                rec, s = candidates[0].get(key, TrafficKind.FOREGROUND, self.cache)
+            except CorruptionError:
+                self._quarantine(level_no, candidates[0])
+                continue
             service += s
             if rec is not None:
                 self.last_op_service = service
@@ -345,16 +542,26 @@ class LSMTree:
         for imm in reversed(self._immutables):
             streams.append(imm.records(start=start))
         first = self.options.first_level
+
+        def guarded(level_no: int, table: SSTable) -> Iterator[Record]:
+            # Stop the stream (and quarantine) when a block fails its
+            # checksum; the scan degrades to the remaining clean tables
+            # instead of surfacing corrupt bytes.
+            try:
+                yield from table.iter_from(start, TrafficKind.FOREGROUND, self.cache)
+            except CorruptionError:
+                self._quarantine(level_no, table)
+
         if first == 0:
             for table in reversed(list(self.version.level(0))):
-                streams.append(table.iter_from(start, TrafficKind.FOREGROUND, self.cache))
+                streams.append(guarded(0, table))
         for level_no in range(max(first, 1), first + self.options.num_levels):
             if level_no - first >= self.version.num_levels:
                 break
             lvl_tables = self.version.level(level_no).overlapping(start, None)
-            def level_stream(tables=lvl_tables):
+            def level_stream(tables=lvl_tables, lvl=level_no):
                 for t in tables:
-                    yield from t.iter_from(start, TrafficKind.FOREGROUND, self.cache)
+                    yield from guarded(lvl, t)
             streams.append(level_stream())
         out: list[tuple[bytes, bytes]] = []
         for rec in merge_records(streams, drop_tombstones=True):

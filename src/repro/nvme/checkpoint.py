@@ -12,14 +12,23 @@ writes after the last checkpoint are not recovered (the engine checkpoints
 at shutdown via :meth:`repro.core.hyperdb.HyperDB.finalize`; a production
 system would pair this with the data pages' self-describing headers, which
 the simulation omits).
+
+Integrity: the serialized image ends in a CRC32 trailer.  :meth:`recover`
+verifies it before trusting a single field, so a bit-flipped or torn
+checkpoint surfaces as :class:`CorruptionError` — which the engine turns
+into a degraded (empty) rebuild — instead of a silently wrong index.
+Crash safety: :meth:`write` builds the new checkpoint in freshly allocated
+pages and frees the previous one only after the new image is fully
+written, so a crash mid-checkpoint always leaves the old intact image.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import TYPE_CHECKING
 
-from repro.common.errors import CorruptionError, ReproError
+from repro.common.errors import CorruptionError, RecoveryError
 from repro.common.keys import KeyRange
 from repro.nvme.zone import SlotLocation, Zone, _ZonePage
 from repro.simssd.traffic import TrafficKind
@@ -31,6 +40,7 @@ _MAGIC = 0xC4EC
 _HEADER = struct.Struct(">HHII")          # magic, zone_count, entry_count, reserved
 _ZONE_REC = struct.Struct(">QB")          # zone_id, has_range flag (+ lo/hi keys)
 _ENTRY = struct.Struct(">HQQIIIQB")       # klen, zone_id, page_id, slot, slot_sz, rec_sz, seqno, flags
+_CRC = struct.Struct(">I")                # crc32 trailer over everything above
 
 
 def _encode_key_field(key: bytes) -> bytes:
@@ -65,25 +75,29 @@ class PartitionCheckpoint:
                 )
             )
             out.append(key)
-        return b"".join(out)
+        payload = b"".join(out)
+        return payload + _CRC.pack(zlib.crc32(payload))
 
     @staticmethod
     def write(partition: "Partition") -> float:
         """Persist a checkpoint into NVMe pages; returns the service time.
 
-        The previous checkpoint's pages are released first.
+        Crash-safe ordering: the new image is written into *fresh* pages
+        first; only once it is complete are the previous checkpoint's pages
+        released and the new ones registered.  A power loss mid-write thus
+        leaves the old checkpoint intact and recoverable.
         """
         payload = PartitionCheckpoint.serialize(partition)
         store = partition.page_store
-        # Release the previous checkpoint.
-        for pid in partition._checkpoint_pages:
-            store.free(pid)
         npages = max(1, -(-len(payload) // store.page_size))
         pages = store.allocate(npages)
         service = 0.0
         for i, pid in enumerate(pages):
             chunk = payload[i * store.page_size : (i + 1) * store.page_size]
             service += store.write(pid, 0, chunk, TrafficKind.GC)
+        # The new image is durable; retire the old one and switch over.
+        for pid in partition._checkpoint_pages:
+            store.free(pid)
         partition._checkpoint_pages = pages
         partition._checkpoint_len = len(payload)
         return service
@@ -97,7 +111,7 @@ class PartitionCheckpoint:
         Returns the service time.
         """
         if not partition._checkpoint_pages:
-            raise ReproError(
+            raise RecoveryError(
                 f"partition {partition.partition_id} has no checkpoint"
             )
         store = partition.page_store
@@ -107,7 +121,16 @@ class PartitionCheckpoint:
             data, s = store.read(pid, TrafficKind.FOREGROUND)
             service += s
             chunks.append(data)
-        payload = b"".join(chunks)[: partition._checkpoint_len]
+        image = b"".join(chunks)[: partition._checkpoint_len]
+        if len(image) < _HEADER.size + _CRC.size:
+            raise CorruptionError("checkpoint shorter than header + CRC")
+        payload, footer = image[: -_CRC.size], image[-_CRC.size :]
+        (expected,) = _CRC.unpack(footer)
+        actual = zlib.crc32(payload)
+        if actual != expected:
+            raise CorruptionError(
+                f"checkpoint CRC mismatch: stored={expected:#x} computed={actual:#x}"
+            )
 
         magic, zone_count, entry_count, _ = _HEADER.unpack_from(payload, 0)
         if magic != _MAGIC:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.cache import LRUCache
-from repro.common.errors import ReproError
+from repro.common.errors import PowerLossError, ReproError
 from repro.simssd.device import SimDevice
 from repro.simssd.traffic import TrafficKind
 
@@ -64,6 +64,11 @@ class PageStore:
 
         Oversized slots span continuation pages; their payload is stored in
         the head page's buffer and the I/O is charged for all ``npages``.
+
+        Under fault injection the same torn-write / corruption semantics as
+        :class:`repro.simssd.fs.SimFile` apply: a crashing write persists
+        only a prefix, a transient failure beyond retries persists nothing,
+        and a successful write may land with one flipped bit.
         """
         page = self._pages.get(page_id)
         if page is None:
@@ -73,13 +78,26 @@ class PageStore:
                 f"write [{offset}, {offset + len(data)}) exceeds "
                 f"{npages} page(s)"
             )
-        end = offset + len(data)
-        if end > len(page):
-            page.extend(b"\x00" * (end - len(page)))
-        page[offset:end] = data
+
+        def apply(payload: bytes) -> None:
+            end = offset + len(payload)
+            if end > len(page):
+                page.extend(b"\x00" * (end - len(page)))
+            page[offset:end] = payload
+
+        inj = self.device.injector
+        try:
+            service = self.device.write_pages(npages, kind, sequential=False)
+        except PowerLossError as e:
+            keep = inj.torn_prefix_len(len(data), e.torn_fraction)
+            apply(data[:keep])
+            if cache is not None:
+                cache.invalidate(("nvpg", page_id))
+            raise
+        apply(inj.corrupt_payload(data) if inj is not None else data)
         if cache is not None:
             cache.invalidate(("nvpg", page_id))
-        return self.device.write_pages(npages, kind, sequential=False)
+        return service
 
     def read(
         self,

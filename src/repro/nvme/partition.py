@@ -385,6 +385,10 @@ class Partition:
     def recover(self) -> float:
         """Rebuild in-memory index/zones from the last checkpoint.
 
+        Raises :class:`repro.common.errors.RecoveryError` when no checkpoint
+        exists and :class:`CorruptionError` when the stored image fails its
+        CRC — callers choose between failing hard and :meth:`reset_state`.
+
         Limitations (documented in :mod:`repro.nvme.checkpoint`): writes
         after the last checkpoint are lost, and continuation pages of
         oversized (multi-page) slots are not re-tracked.
@@ -392,6 +396,32 @@ class Partition:
         from repro.nvme.checkpoint import PartitionCheckpoint
 
         return PartitionCheckpoint.recover(self)
+
+    def reset_state(self) -> None:
+        """Degraded rebuild: bring the partition back empty.
+
+        Used when :meth:`recover` finds no checkpoint or a corrupt one —
+        every page the partition owned (zones, hot zone, checkpoint) is
+        released and the in-memory structures are re-initialized, so the
+        engine restarts with data loss bounded to this partition instead
+        of refusing to open.
+        """
+        for zone in [self.hot_zone] + self._zones:
+            for pid in zone.page_ids():
+                self.page_store.free(pid)
+        for pid in self._checkpoint_pages:
+            self.page_store.free(pid)
+        self._checkpoint_pages = []
+        self._checkpoint_len = 0
+        self.index = BTreeIndex(order=64)
+        self._zones = []
+        self._zone_bounds = []
+        self._init_zones()
+        self.hot_zone = self._new_zone(None)
+        self._written_bytes = 0
+        self._written_objects = 0
+        self.tracker = self._make_tracker(max(64, self.config.slot_classes[0]))
+        self._tracker_calibrated = False
 
     # ------------------------------------------------------- zone rebuild
 

@@ -10,6 +10,7 @@ while remaining fast enough to run in pure Python.
 
 from repro.simssd.profiles import DeviceProfile, NVME_PROFILE, SATA_PROFILE
 from repro.simssd.traffic import TrafficKind, TrafficStats
+from repro.simssd.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.simssd.device import SimDevice
 from repro.simssd.fs import SimFile, SimFilesystem
 
@@ -19,6 +20,9 @@ __all__ = [
     "SATA_PROFILE",
     "TrafficKind",
     "TrafficStats",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "SimDevice",
     "SimFile",
     "SimFilesystem",

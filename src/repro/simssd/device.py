@@ -4,11 +4,22 @@ A :class:`SimDevice` owns a page allocator and a traffic ledger.  It does not
 store data itself — :class:`repro.simssd.fs.SimFilesystem` layers named files
 with page payloads on top — but every page read/write/trim flows through the
 device so that capacity and service-time accounting is exact.
+
+A device may carry a :class:`repro.simssd.faults.FaultInjector`: every page
+I/O then consults it.  Transient failures are retried under the device's
+:class:`repro.simssd.faults.RetryPolicy` — each failed attempt is charged to
+the traffic ledger exactly like a successful one (the bus moved the bytes),
+plus the backoff delay — and only an exhausted policy surfaces a
+:class:`repro.common.errors.TransientIOError`.  Injected power loss raises
+:class:`repro.common.errors.PowerLossError` and freezes the device.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import CapacityError
+from typing import Optional
+
+from repro.common.errors import CapacityError, TransientIOError
+from repro.simssd.faults import FaultInjector, RetryPolicy
 from repro.simssd.profiles import DeviceProfile
 from repro.simssd.traffic import TrafficKind, TrafficStats
 
@@ -20,12 +31,36 @@ class SimDevice:
     ----------
     profile:
         The cost model and geometry for this device.
+    injector:
+        Optional fault injector consulted on every page I/O.  May be shared
+        by several devices to model whole-node power loss.
+    retry_policy:
+        Backoff policy for injected transient errors (defaults to a small
+        exponential policy; irrelevant when no injector is attached).
     """
 
-    def __init__(self, profile: DeviceProfile) -> None:
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.profile = profile
         self.traffic = TrafficStats()
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Extra I/O attempts issued because a transient fault was retried.
+        self.retried_ios = 0
         self._allocated_pages = 0
+
+    @property
+    def powered_off(self) -> bool:
+        """True after an injected power loss (until reboot / reopen)."""
+        return self.injector is not None and self.injector.crashed
+
+    def check_power(self) -> None:
+        if self.injector is not None:
+            self.injector.check_power()
 
     # -------------------------------------------------------------- space
 
@@ -77,26 +112,71 @@ class SimDevice:
     def read_pages(
         self, num_pages: int, kind: TrafficKind, sequential: bool = False
     ) -> float:
-        """Charge a read of ``num_pages`` pages; returns the service time."""
+        """Charge a read of ``num_pages`` pages; returns the service time.
+
+        Injected transient failures are retried under :attr:`retry_policy`;
+        every attempt (failed or not) is charged to the ledger.  Raises
+        :class:`TransientIOError` when retries are exhausted.
+        """
         if num_pages <= 0:
             return 0.0
         ios = 1 if sequential else num_pages
         latency = ios * self.profile.read_latency_s
         transfer = num_pages * self.page_size / self.profile.read_bandwidth
-        self.traffic.note_read(kind, num_pages * self.page_size, ios, latency, transfer)
-        return latency + transfer
+        service = 0.0
+        attempt = 0
+        while True:
+            failed = self.injector.pull_read_fault() if self.injector else False
+            self.traffic.note_read(
+                kind, num_pages * self.page_size, ios, latency, transfer
+            )
+            service += latency + transfer
+            if not failed:
+                return service
+            delay = self.retry_policy.backoff_s(attempt)
+            if delay is None:
+                raise TransientIOError(
+                    f"read of {num_pages} page(s) failed after "
+                    f"{attempt + 1} attempts on {self.profile.name!r}"
+                )
+            self.retried_ios += ios
+            service += delay
+            attempt += 1
 
     def write_pages(
         self, num_pages: int, kind: TrafficKind, sequential: bool = True
     ) -> float:
-        """Charge a write of ``num_pages`` pages; returns the service time."""
+        """Charge a write of ``num_pages`` pages; returns the service time.
+
+        Transient failures retry like :meth:`read_pages`.  An injected
+        crash point raises :class:`repro.common.errors.PowerLossError`
+        (never retried): the caller decides how much of the in-flight
+        payload tore onto media.
+        """
         if num_pages <= 0:
             return 0.0
         ios = 1 if sequential else num_pages
         latency = ios * self.profile.write_latency_s
         transfer = num_pages * self.page_size / self.profile.write_bandwidth
-        self.traffic.note_write(kind, num_pages * self.page_size, ios, latency, transfer)
-        return latency + transfer
+        service = 0.0
+        attempt = 0
+        while True:
+            failed = self.injector.pull_write_fault() if self.injector else False
+            self.traffic.note_write(
+                kind, num_pages * self.page_size, ios, latency, transfer
+            )
+            service += latency + transfer
+            if not failed:
+                return service
+            delay = self.retry_policy.backoff_s(attempt)
+            if delay is None:
+                raise TransientIOError(
+                    f"write of {num_pages} page(s) failed after "
+                    f"{attempt + 1} attempts on {self.profile.name!r}"
+                )
+            self.retried_ios += ios
+            service += delay
+            attempt += 1
 
     def write_bytes_io(
         self, nbytes: int, kind: TrafficKind, sequential: bool = True

@@ -3,14 +3,29 @@
 Files store real bytes (engines read back exactly what they wrote), while
 page allocation and every read/write charges the owning device, so space and
 traffic accounting match what a real filesystem would issue.
+
+Fault semantics (when the device carries a
+:class:`repro.simssd.faults.FaultInjector`):
+
+* a write that fails transiently beyond the retry policy raises
+  :class:`~repro.common.errors.TransientIOError` *before* any byte is
+  persisted (the failed attempts are still charged);
+* a write in flight at an injected crash point is **torn**: only a seeded
+  prefix of its payload reaches media, then
+  :class:`~repro.common.errors.PowerLossError` propagates and every further
+  operation fails until :meth:`SimFilesystem.post_crash_image` freezes the
+  surviving bytes into a fresh, powered-on filesystem;
+* a successful write may persist with one flipped bit (media corruption) —
+  readers get the corrupt bytes and engine checksums must catch them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
-from repro.common.errors import ClosedError, ReproError
+from repro.common.errors import ClosedError, PowerLossError, ReproError
 from repro.simssd.device import SimDevice
+from repro.simssd.faults import FaultInjector, RetryPolicy
 from repro.simssd.traffic import TrafficKind
 
 
@@ -41,6 +56,7 @@ class SimFile:
     def _check_open(self) -> None:
         if self._deleted:
             raise ClosedError(f"file {self.name!r} has been deleted")
+        self.device.check_power()
 
     def _ensure_pages(self, new_size: int) -> None:
         ps = self.device.page_size
@@ -48,6 +64,10 @@ class SimFile:
         if need > self._allocated_pages:
             self.device.allocate(need - self._allocated_pages)
             self._allocated_pages = need
+
+    def _persist(self, data: bytes) -> bytes:
+        inj = self.device.injector
+        return inj.corrupt_payload(data) if inj is not None else data
 
     # --------------------------------------------------------------- I/O
 
@@ -60,9 +80,14 @@ class SimFile:
             return len(self._data), 0.0
         offset = len(self._data)
         self._ensure_pages(offset + len(data))
-        self._data.extend(data)
         pages = self._page_span(offset, len(data))
-        service = self.device.write_pages(pages, kind, sequential)
+        try:
+            service = self.device.write_pages(pages, kind, sequential)
+        except PowerLossError as e:
+            keep = self.device.injector.torn_prefix_len(len(data), e.torn_fraction)
+            self._data.extend(data[:keep])
+            raise
+        self._data.extend(self._persist(data))
         return offset, service
 
     def write_at(
@@ -77,9 +102,15 @@ class SimFile:
             )
         if not data:
             return 0.0
-        self._data[offset : offset + len(data)] = data
         pages = self._page_span(offset, len(data))
-        return self.device.write_pages(pages, kind, sequential)
+        try:
+            service = self.device.write_pages(pages, kind, sequential)
+        except PowerLossError as e:
+            keep = self.device.injector.torn_prefix_len(len(data), e.torn_fraction)
+            self._data[offset : offset + keep] = data[:keep]
+            raise
+        self._data[offset : offset + len(data)] = self._persist(data)
+        return service
 
     def read(
         self, offset: int, length: int, kind: TrafficKind, sequential: bool = False
@@ -96,6 +127,24 @@ class SimFile:
         pages = self._page_span(offset, length)
         service = self.device.read_pages(pages, kind, sequential)
         return bytes(self._data[offset : offset + length]), service
+
+    def truncate(self, new_size: int) -> None:
+        """Drop bytes past ``new_size`` and release now-unused whole pages.
+
+        A metadata operation (no data I/O is charged), used by WAL recovery
+        to cut a torn tail before reusing the log.
+        """
+        self._check_open()
+        if new_size < 0 or new_size > len(self._data):
+            raise ReproError(
+                f"truncate to {new_size} outside [0, {len(self._data)}]"
+            )
+        del self._data[new_size:]
+        ps = self.device.page_size
+        need = -(-new_size // ps)
+        if need < self._allocated_pages:
+            self.device.trim(self._allocated_pages - need)
+            self._allocated_pages = need
 
     def _page_span(self, offset: int, length: int) -> int:
         ps = self.device.page_size
@@ -152,6 +201,33 @@ class SimFilesystem:
 
     def files(self) -> Iterator[SimFile]:
         return iter(list(self._files.values()))
+
+    def post_crash_image(
+        self,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> "SimFilesystem":
+        """Freeze the current media state into a fresh, powered-on filesystem.
+
+        Returns a new :class:`SimFilesystem` over a new :class:`SimDevice`
+        (same profile) holding byte-identical copies of every file —
+        including any torn tail the crash left behind.  Restoring the image
+        charges no I/O (it *is* the media); the new device starts with a
+        clean traffic ledger and the given (or no) injector.
+        """
+        device = SimDevice(
+            self.device.profile,
+            injector=injector,
+            retry_policy=retry_policy or self.device.retry_policy,
+        )
+        image = SimFilesystem(device)
+        image._seq = self._seq
+        for name, f in self._files.items():
+            nf = image.create(name)
+            if f._data:
+                nf._ensure_pages(len(f._data))
+                nf._data = bytearray(f._data)
+        return image
 
     @property
     def used_bytes(self) -> int:
