@@ -20,7 +20,7 @@ from repro.common.cache import LRUCache
 from repro.common.errors import ReproError
 from repro.common.records import Record
 from repro.core.interface import KVStore
-from repro.lsm.blocks import decode_records
+from repro.lsm.blocks import decode_one
 from repro.lsm.lsmtree import DbPath, LSMOptions, LSMTree
 from repro.nvme.config import NVMeConfig
 from repro.nvme.pagestore import PageStore
@@ -157,7 +157,7 @@ class _SlabStore:
         out: list[Record] = []
         for key, loc in located:
             raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
-            (rec,) = decode_records(raw)
+            rec = decode_one(raw)
             out.append(Record(key, rec.value, rec.seqno))
             slab = self._slabs_by_zone(loc.zone_id)
             slab.remove_object(key, loc)

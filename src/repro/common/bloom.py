@@ -1,4 +1,4 @@
-"""Standard bloom filter over a numpy bit array.
+"""Standard bloom filter over a packed bit array.
 
 Used in two places:
 
@@ -7,20 +7,35 @@ Used in two places:
   access window and membership means "accessed within that window".
 
 Hash positions are derived with double hashing (Kirsch–Mitzenmacher), which
-gives ``k`` independent-enough probes from two base hashes of the key.
+gives ``k`` independent-enough probes from two base hashes of the key.  The
+combined hash wraps at 64 bits (as a C implementation would) so the scalar
+and vectorized paths place bits identically.
+
+The bit array is a ``bytearray``: scalar probes index it with plain-int
+arithmetic (much cheaper than numpy scalar indexing on this path), while
+bulk inserts view it as a numpy array and scatter whole position matrices.
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
+from typing import Iterable, Sequence
 
 import numpy as np
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
 def _base_hashes(key: bytes) -> tuple[int, int]:
     digest = hashlib.blake2b(key, digest_size=16).digest()
     return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:], "little")
+
+
+#: Public alias: callers holding one key that probes several filters can
+#: hash once and use :meth:`BloomFilter.add_hashed` /
+#: :meth:`BloomFilter.contains_hashed`.
+base_hashes = _base_hashes
 
 
 class BloomFilter:
@@ -47,7 +62,7 @@ class BloomFilter:
         self.num_bits = max(64, capacity * bits_per_key)
         # Optimal hash count for the chosen bits/key ratio, clamped to [1, 30].
         self.num_hashes = min(30, max(1, round(bits_per_key * math.log(2))))
-        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self._bits = bytearray((self.num_bits + 7) // 8)
         self._count = 0
 
     @property
@@ -63,22 +78,60 @@ class BloomFilter:
     def _positions(self, key: bytes) -> list[int]:
         h1, h2 = _base_hashes(key)
         m = self.num_bits
-        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+        return [((h1 + i * h2) & _MASK64) % m for i in range(self.num_hashes)]
 
     def add(self, key: bytes) -> None:
-        for pos in self._positions(key):
-            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.add_hashed(*_base_hashes(key))
+
+    def add_hashed(self, h1: int, h2: int) -> None:
+        """Insert by precomputed base hashes (see :func:`base_hashes`).
+
+        Lets callers that feed the same key to several filters — the
+        cascading discriminator probes its whole chain per access — hash
+        once instead of once per filter.
+        """
+        m = self.num_bits
+        bits = self._bits
+        for i in range(self.num_hashes):
+            pos = ((h1 + i * h2) & _MASK64) % m
+            bits[pos >> 3] |= 1 << (pos & 7)
         self._count += 1
 
+    def add_many(self, keys: Sequence[bytes] | Iterable[bytes]) -> None:
+        """Insert many keys at once, scattering all probe bits vectorized."""
+        keys = list(keys) if not isinstance(keys, (list, tuple)) else keys
+        if not keys:
+            return
+        hashes = np.array([_base_hashes(k) for k in keys], dtype=np.uint64)
+        i = np.arange(self.num_hashes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            pos = (hashes[:, 0:1] + i[None, :] * hashes[:, 1:2]) % np.uint64(
+                self.num_bits
+            )
+        byte_idx = (pos >> np.uint64(3)).astype(np.int64).ravel()
+        masks = (
+            np.left_shift(np.uint64(1), pos & np.uint64(7)).astype(np.uint8).ravel()
+        )
+        view = np.frombuffer(self._bits, dtype=np.uint8)
+        np.bitwise_or.at(view, byte_idx, masks)
+        self._count += len(keys)
+
     def __contains__(self, key: bytes) -> bool:
-        for pos in self._positions(key):
-            if not (self._bits[pos >> 3] >> (pos & 7)) & 1:
+        return self.contains_hashed(*_base_hashes(key))
+
+    def contains_hashed(self, h1: int, h2: int) -> bool:
+        """Membership probe by precomputed base hashes."""
+        m = self.num_bits
+        bits = self._bits
+        for i in range(self.num_hashes):
+            pos = ((h1 + i * h2) & _MASK64) % m
+            if not (bits[pos >> 3] >> (pos & 7)) & 1:
                 return False
         return True
 
     def fill_ratio(self) -> float:
         """Fraction of bits set; a saturation diagnostic."""
-        return float(np.unpackbits(self._bits).sum()) / self.num_bits
+        return int.from_bytes(self._bits, "little").bit_count() / self.num_bits
 
     @property
     def size_bytes(self) -> int:
@@ -89,8 +142,7 @@ class BloomFilter:
     def for_keys(keys: list[bytes], bits_per_key: int = 10) -> "BloomFilter":
         """Build a filter sized for and populated with ``keys``."""
         bf = BloomFilter(max(1, len(keys)), bits_per_key)
-        for k in keys:
-            bf.add(k)
+        bf.add_many(keys)
         return bf
 
     # ------------------------------------------------------- serialization
@@ -101,7 +153,7 @@ class BloomFilter:
 
         return (
             struct.pack(">QQI", self.capacity, self._count, self.bits_per_key)
-            + self._bits.tobytes()
+            + bytes(self._bits)
         )
 
     @staticmethod
@@ -111,7 +163,7 @@ class BloomFilter:
 
         capacity, count, bits_per_key = struct.unpack_from(">QQI", data, 0)
         bf = BloomFilter(capacity, bits_per_key)
-        bits = np.frombuffer(data[20:], dtype=np.uint8).copy()
+        bits = bytearray(data[20:])
         if len(bits) != len(bf._bits):
             raise ValueError(
                 f"bloom bit array length {len(bits)} != expected {len(bf._bits)}"

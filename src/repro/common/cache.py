@@ -57,13 +57,12 @@ class LRUCache:
         return key in self._entries
 
     def put(self, key: Hashable, value: Any, charge: int = 1) -> None:
-        if charge > self.capacity_bytes:
-            # Entry can never fit; treat as uncacheable.
-            self._entries.pop(key, None)
-            return
         old = self._entries.pop(key, None)
         if old is not None:
             self._used -= old[1]
+        if charge > self.capacity_bytes:
+            # Entry can never fit; treat as uncacheable.
+            return
         while self._used + charge > self.capacity_bytes and self._entries:
             _, (_, old_charge) = self._entries.popitem(last=False)
             self._used -= old_charge
@@ -129,10 +128,16 @@ class ObjectCache:
         return self._entries.pop(key, default)
 
     def drain(self) -> list[tuple[Hashable, Any]]:
-        """Evict everything (invoking the spill callback) and return entries."""
-        out = list(self._entries.items())
-        for k, v in out:
+        """Evict everything (invoking the spill callback) and return entries.
+
+        Each entry is popped *before* its spill callback runs, so a callback
+        failure mid-drain leaves already-flushed entries out of the cache and
+        a retry cannot double-spill them.
+        """
+        out: list[tuple[Hashable, Any]] = []
+        while self._entries:
+            key, value = self._entries.popitem(last=False)
+            out.append((key, value))
             if self._on_evict is not None:
-                self._on_evict(k, v)
-        self._entries.clear()
+                self._on_evict(key, value)
         return out

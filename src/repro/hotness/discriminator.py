@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.common.bloom import BloomFilter
+from repro.common.bloom import BloomFilter, base_hashes
 
 
 class CascadingDiscriminator:
@@ -49,7 +49,7 @@ class CascadingDiscriminator:
 
     def access(self, key: bytes) -> None:
         """Record one read or update of ``key``."""
-        self._open.add(key)
+        self._open.add_hashed(*base_hashes(key))
         self.accesses += 1
         if self._open.is_full:
             self._seal()
@@ -66,10 +66,11 @@ class CascadingDiscriminator:
         sealed windows (newest backwards)."""
         if len(self._sealed) < self.hot_threshold:
             return False
+        h1, h2 = base_hashes(key)  # hash once, probe the whole chain
         run = 0
         best = 0
         for bf in reversed(self._sealed):
-            if key in bf:
+            if bf.contains_hashed(h1, h2):
                 run += 1
                 best = max(best, run)
             else:

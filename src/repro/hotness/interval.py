@@ -8,6 +8,10 @@ object, the conditional probability
 — the statistical basis for interval-based hotness detection: if the
 probability is high, "recently re-accessed within a window" predicts
 "will be re-accessed within the window".
+
+Traces of integer key ids (the common case: YCSB key sequences) are grouped
+with one stable argsort instead of a per-access Python loop; arbitrary
+hashable keys fall back to the loop.
 """
 
 from __future__ import annotations
@@ -20,6 +24,18 @@ import numpy as np
 
 def access_intervals(trace: Sequence[Hashable]) -> Dict[Hashable, np.ndarray]:
     """Per-object arrays of gaps (in accesses) between consecutive accesses."""
+    arr = np.asarray(trace)
+    if arr.ndim == 1 and arr.dtype.kind in "iu" and len(arr) > 0:
+        # Stable argsort groups each key's access positions in trace order.
+        order = np.argsort(arr, kind="stable")
+        sorted_keys = arr[order]
+        starts = np.flatnonzero(np.diff(sorted_keys)) + 1
+        groups = np.split(order, starts)
+        return {
+            int(sorted_keys[g[0]]): np.diff(g)
+            for g in groups
+            if len(g) >= 2
+        }
     positions: Dict[Hashable, list[int]] = defaultdict(list)
     for pos, key in enumerate(trace):
         positions[key].append(pos)
@@ -28,6 +44,13 @@ def access_intervals(trace: Sequence[Hashable]) -> Dict[Hashable, np.ndarray]:
         for key, p in positions.items()
         if len(p) >= 2
     }
+
+
+def _run_lengths(below: np.ndarray) -> np.ndarray:
+    """``run[i]`` = count of consecutive True values ending at index ``i``."""
+    idx = np.arange(len(below))
+    last_false = np.maximum.accumulate(np.where(~below, idx, -1))
+    return idx - last_false
 
 
 def interval_conditional_probabilities(
@@ -62,18 +85,12 @@ def interval_conditional_probabilities(
         if len(intervals) <= history:
             continue
         below = intervals < threshold
-        events = 0
-        hits = 0
-        # windows of `history` consecutive below-threshold intervals,
-        # followed by one more interval to test.
-        run = 0
-        for i in range(len(intervals) - 1):
-            run = run + 1 if below[i] else 0
-            if run >= history:
-                events += 1
-                if below[i + 1]:
-                    hits += 1
+        # Conditioning events: `history` consecutive below-threshold
+        # intervals ending at i, with interval i+1 left to test.
+        cond = _run_lengths(below)[:-1] >= history
+        events = int(np.count_nonzero(cond))
         if events:
+            hits = int(np.count_nonzero(cond & below[1:]))
             probs.append(hits / events)
     return np.asarray(probs, dtype=np.float64)
 

@@ -54,6 +54,28 @@ def decode_records(data: bytes) -> Iterator[Record]:
         yield Record(key, value, seqno, deleted=bool(flags & _FLAG_TOMBSTONE))
 
 
+def decode_one(data: bytes, offset: int = 0) -> Record:
+    """Decode the single record starting at ``offset``.
+
+    Equivalent to the first item of :func:`decode_records` but without the
+    generator machinery; the NVMe slot read path decodes exactly one record
+    per object lookup, so this is a hot path.
+    """
+    end = len(data)
+    if offset + _HEADER.size > end:
+        raise CorruptionError(f"truncated record header at offset {offset}")
+    seqno, flags, klen, vlen = _HEADER.unpack_from(data, offset)
+    body = offset + _HEADER.size
+    if body + klen + vlen > end:
+        raise CorruptionError(f"truncated record body at offset {body}")
+    return Record(
+        data[body : body + klen],
+        data[body + klen : body + klen + vlen],
+        seqno,
+        deleted=bool(flags & _FLAG_TOMBSTONE),
+    )
+
+
 def decode_prefix(data: bytes) -> tuple[list[Record], int, bool]:
     """Decode the longest clean prefix of back-to-back records.
 
@@ -102,7 +124,32 @@ def decode_block(block: bytes) -> list[Record]:
         raise CorruptionError(
             f"block checksum mismatch: stored={expected:#x} computed={actual:#x}"
         )
-    return list(decode_records(payload))
+    # Inline loop rather than list(decode_records(...)): block decodes run
+    # on every table read and the generator resumption overhead is
+    # measurable there.
+    records: list[Record] = []
+    append = records.append
+    unpack_from = _HEADER.unpack_from
+    hsize = _HEADER.size
+    pos = 0
+    end = len(payload)
+    while pos < end:
+        if pos + hsize > end:
+            raise CorruptionError(f"truncated record header at offset {pos}")
+        seqno, flags, klen, vlen = unpack_from(payload, pos)
+        body = pos + hsize
+        pos = body + klen + vlen
+        if pos > end:
+            raise CorruptionError(f"truncated record body at offset {body}")
+        append(
+            Record(
+                payload[body : body + klen],
+                payload[body + klen : pos],
+                seqno,
+                deleted=bool(flags & _FLAG_TOMBSTONE),
+            )
+        )
+    return records
 
 
 def record_encoded_size(rec: Record) -> int:

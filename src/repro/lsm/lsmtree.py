@@ -502,7 +502,8 @@ class LSMTree:
         service = 0.0
         first = self.options.first_level
         if first == 0:
-            for table in reversed(list(self.version.level(0))):
+            # Copy: quarantine may remove a table mid-iteration.
+            for table in reversed(list(self.version.level(0).tables)):
                 if table.first_key <= key <= table.last_key:
                     try:
                         rec, s = table.get(key, TrafficKind.FOREGROUND, self.cache)
@@ -518,13 +519,15 @@ class LSMTree:
         for level_no in range(max(first, 1), first + self.options.num_levels):
             if level_no - first >= self.version.num_levels:
                 break
-            candidates = self.version.overlapping(level_no, key, key + b"\x00")
-            if not candidates:
+            # Sorted levels are disjoint: bisect straight to the one
+            # candidate table instead of range-testing the whole level.
+            candidate = self.version.level(level_no).table_for_key(key)
+            if candidate is None:
                 continue
             try:
-                rec, s = candidates[0].get(key, TrafficKind.FOREGROUND, self.cache)
+                rec, s = candidate.get(key, TrafficKind.FOREGROUND, self.cache)
             except CorruptionError:
-                self._quarantine(level_no, candidates[0])
+                self._quarantine(level_no, candidate)
                 continue
             service += s
             if rec is not None:

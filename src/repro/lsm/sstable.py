@@ -13,7 +13,7 @@ are appended to the table file so space accounting is honest.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -66,6 +66,9 @@ class SSTable:
         self.handles = handles
         self.bloom = bloom
         self.num_records = num_records
+        # Tables are immutable: the per-block first keys are cached once so
+        # point lookups don't rebuild the list on every get.
+        self._firsts = [h.first_key for h in handles]
 
     # ------------------------------------------------------------ metadata
 
@@ -92,12 +95,35 @@ class SSTable:
     # -------------------------------------------------------------- reads
 
     def _find_handle(self, key: bytes) -> Optional[BlockHandle]:
-        firsts = [h.first_key for h in self.handles]
-        idx = bisect_right(firsts, key) - 1
+        idx = bisect_right(self._firsts, key) - 1
         if idx < 0:
             return None
         h = self.handles[idx]
         return h if key <= h.last_key else None
+
+    def _load_block(
+        self,
+        handle: BlockHandle,
+        kind: TrafficKind,
+        cache: Optional[LRUCache],
+    ) -> tuple[list[Record], list[bytes], float]:
+        """Read and decode one data block plus its sorted key array.
+
+        The key array is cached alongside the records so point lookups can
+        binary-search without touching every record object per get.
+        """
+        cache_key = ("blk", self.file.name, handle.offset)
+        if cache is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                records, keys = cached
+                return records, keys, 0.0
+        raw, service = self.file.read(handle.offset, handle.length, kind)
+        records = decode_block(raw)
+        keys = [r.key for r in records]
+        if cache is not None:
+            cache.put(cache_key, (records, keys), charge=handle.length)
+        return records, keys, service
 
     def read_block(
         self,
@@ -106,15 +132,7 @@ class SSTable:
         cache: Optional[LRUCache] = None,
     ) -> tuple[list[Record], float]:
         """Read and decode one data block, optionally through the page cache."""
-        cache_key = ("blk", self.file.name, handle.offset)
-        if cache is not None:
-            cached = cache.get(cache_key)
-            if cached is not None:
-                return cached, 0.0
-        raw, service = self.file.read(handle.offset, handle.length, kind)
-        records = decode_block(raw)
-        if cache is not None:
-            cache.put(cache_key, records, charge=handle.length)
+        records, _, service = self._load_block(handle, kind, cache)
         return records, service
 
     def get(
@@ -129,16 +147,10 @@ class SSTable:
         handle = self._find_handle(key)
         if handle is None:
             return None, 0.0
-        records, service = self.read_block(handle, kind, cache)
-        lo, hi = 0, len(records) - 1
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            if records[mid].key == key:
-                return records[mid], service
-            if records[mid].key < key:
-                lo = mid + 1
-            else:
-                hi = mid - 1
+        records, keys, service = self._load_block(handle, kind, cache)
+        idx = bisect_left(keys, key)
+        if idx < len(keys) and keys[idx] == key:
+            return records[idx], service
         return None, service
 
     def iter_records(
@@ -158,8 +170,7 @@ class SSTable:
         cache: Optional[LRUCache] = None,
     ) -> Iterator[Record]:
         """Ordered iteration beginning at the first key >= ``start``."""
-        firsts = [h.first_key for h in self.handles]
-        idx = max(0, bisect_right(firsts, start) - 1)
+        idx = max(0, bisect_right(self._firsts, start) - 1)
         for handle in self.handles[idx:]:
             if handle.last_key < start:
                 continue

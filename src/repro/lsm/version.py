@@ -8,7 +8,7 @@ kept sorted by first key.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional
 
 from repro.common.errors import ReproError
@@ -21,17 +21,26 @@ class LevelState:
     def __init__(self, level: int) -> None:
         self.level = level
         self.tables: List = []
+        #: Cached ``[t.first_key for t in tables]``; rebuilt lazily after
+        #: add/remove so point lookups bisect instead of scanning.
+        self._firsts: Optional[List[bytes]] = None
 
     @property
     def overlapping_allowed(self) -> bool:
         return self.level == 0
 
+    def _first_keys(self) -> List[bytes]:
+        if self._firsts is None:
+            self._firsts = [t.first_key for t in self.tables]
+        return self._firsts
+
     def add(self, table) -> None:
         if self.overlapping_allowed:
             self.tables.append(table)
+            self._firsts = None
             return
         # Keep sorted by first key; reject overlap with neighbours.
-        firsts = [t.first_key for t in self.tables]
+        firsts = self._first_keys()
         idx = bisect_left(firsts, table.first_key)
         left = self.tables[idx - 1] if idx > 0 else None
         right = self.tables[idx] if idx < len(self.tables) else None
@@ -46,6 +55,7 @@ class LevelState:
                 f"intersects table {right.table_id}"
             )
         self.tables.insert(idx, table)
+        self._firsts = None
 
     def remove(self, table) -> None:
         try:
@@ -54,6 +64,7 @@ class LevelState:
             raise ReproError(
                 f"table {table.table_id} not present at L{self.level}"
             ) from None
+        self._firsts = None
 
     def overlapping(self, lo: bytes, hi: Optional[bytes]) -> list:
         """Tables whose key range intersects ``[lo, hi)``."""
@@ -62,6 +73,21 @@ class LevelState:
             for t in self.tables
             if ranges_overlap(t.first_key, t.last_key + b"\x00", lo, hi)
         ]
+
+    def table_for_key(self, key: bytes):
+        """The single table whose range contains ``key``, or ``None``.
+
+        Only valid on sorted (disjoint) levels; bisects the cached first
+        keys instead of range-testing every table per lookup.
+        """
+        if self.overlapping_allowed:
+            raise ReproError("table_for_key is undefined on overlapping L0")
+        firsts = self._first_keys()
+        idx = bisect_right(firsts, key) - 1
+        if idx < 0:
+            return None
+        t = self.tables[idx]
+        return t if key <= t.last_key else None
 
     def size_bytes(self) -> int:
         return sum(t.size_bytes for t in self.tables)

@@ -52,6 +52,9 @@ class MigrationScheduler:
         return zones
 
     def _demote_partition(self, partition: Partition) -> int:
+        # One background migration job per partition invocation; a job may
+        # demote many zones (up to max_zones_per_job) before it finishes.
+        self.stats.demotion_jobs += 1
         zones = 0
         while (
             not partition.below_low_watermark() and zones < self.max_zones_per_job
@@ -65,7 +68,6 @@ class MigrationScheduler:
                 self.stats.demoted_objects += len(batch)
                 self.stats.demoted_bytes += sum(r.encoded_size for r in batch)
             zones += 1
-            self.stats.demotion_jobs += 1
             if not batch and zone.object_count == 0 and partition.object_count() == 0:
                 break
         return zones

@@ -200,6 +200,7 @@ class PartitionCheckpoint:
                 )
                 pages_seen[(zone_id, page_id)] = zp
                 zone._pages[page_id] = zp
+                zone._total_pages += zp.total_pages
             if slot in zp.free_slots:
                 zp.free_slots.remove(slot)
             zp.used += 1

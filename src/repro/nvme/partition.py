@@ -17,7 +17,7 @@ from repro.common.errors import ReproError
 from repro.common.keys import KeyRange
 from repro.common.records import Record
 from repro.hotness.tracker import HotnessTracker
-from repro.lsm.blocks import decode_records
+from repro.lsm.blocks import decode_one
 from repro.nvme.config import NVMeConfig
 from repro.nvme.pagestore import PageStore
 from repro.nvme.zone import SlotLocation, Zone
@@ -358,7 +358,7 @@ class Partition:
             if loc is None or loc.zone_id != zone.zone_id:
                 continue
             raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
-            (rec,) = decode_records(raw)
+            rec = decode_one(raw)
             rec = Record(key, rec.value, rec.seqno)
             # Hot objects are parked rather than demoted, but only while the
             # hot zone has budget — otherwise they migrate like anything else.
@@ -453,7 +453,7 @@ class Partition:
             if loc is None or loc.zone_id != zone.zone_id:
                 continue
             raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
-            (rec,) = decode_records(raw)
+            rec = decode_one(raw)
             rec = Record(key, rec.value, rec.seqno)
             target = left if key < median else right
             zone.remove_object(key, loc)

@@ -17,7 +17,7 @@ from typing import Optional
 from repro.common.errors import ReproError
 from repro.common.keys import KeyRange
 from repro.common.records import Record
-from repro.lsm.blocks import decode_records, encode_record
+from repro.lsm.blocks import decode_one, encode_record
 from repro.nvme.pagestore import PageStore
 from repro.simssd.traffic import TrafficKind
 
@@ -39,7 +39,9 @@ class SlotLocation:
         return self.slot_index * self.slot_size
 
 
-@dataclass(slots=True)
+# eq=False: pages are unique objects and the allocator does list-membership
+# checks on every slot free; field-wise comparison of slot lists is wasted.
+@dataclass(slots=True, eq=False)
 class _ZonePage:
     page_id: int
     slot_size: int
@@ -68,6 +70,9 @@ class Zone:
         self.page_store = page_store
         self._pages: dict[int, _ZonePage] = {}
         self._open: dict[int, list[_ZonePage]] = {}  # slot_size -> pages w/ space
+        #: Incremental page count (with oversized-slot continuations); the
+        #: watermark checks read it on every put, so it must stay O(1).
+        self._total_pages = 0
         #: Insertion-ordered key set (dict-as-ordered-set): hot-zone eviction
         #: scans it FIFO with bounded work per call.
         self.keys: dict[bytes, None] = {}
@@ -96,7 +101,7 @@ class Zone:
 
     def total_pages(self) -> int:
         """Pages this zone occupies, counting oversized-slot continuations."""
-        return sum(zp.total_pages for zp in self._pages.values())
+        return self._total_pages
 
     # ----------------------------------------------------------- allocate
 
@@ -130,6 +135,7 @@ class Zone:
         )
         zp.used = 1
         self._pages[pid] = zp
+        self._total_pages += zp.total_pages
         if zp.free_slots:
             self._open.setdefault(slot_size, []).append(zp)
         return pid, 0
@@ -149,6 +155,7 @@ class Zone:
 
     def _release_page(self, zp: _ZonePage) -> None:
         del self._pages[zp.page_id]
+        self._total_pages -= zp.total_pages
         open_pages = self._open.get(zp.slot_size)
         if open_pages and zp in open_pages:
             open_pages.remove(zp)
@@ -229,14 +236,9 @@ class Zone:
         """Read one object's page and decode the record in its slot."""
         npages = -(-loc.slot_size // self.page_store.page_size)
         data, service = self.page_store.read(loc.page_id, kind, cache, npages=npages)
-        chunk = data[loc.offset : loc.offset + loc.record_size]
-        records = list(decode_records(chunk))
-        if not records:
-            raise ReproError(
-                f"no record decoded at page {loc.page_id} slot {loc.slot_index}"
-            )
+        rec = decode_one(data, loc.offset)
         self.read_ios += 1
-        return records[0], service
+        return rec, service
 
     def remove_object(self, key: bytes, loc: SlotLocation) -> None:
         """Drop an object (after migration or relocation)."""

@@ -1,0 +1,25 @@
+"""Microbenchmark harness for the repo's hot paths (``python -m repro.perf``).
+
+The figure benchmarks simulate millions of per-op cost events, so Python
+hot-path overhead — not simulated device time — dominates wall clock.  This
+package times those hot paths directly (YCSB generation, LSM get/put, bloom
+probes, LRU churn, device I/O charging, interval analysis, and a small
+fig8-style end-to-end run) and records the trajectory in
+``results/BENCH_perf.json`` so perf regressions show up per PR.
+"""
+
+from repro.perf.harness import (
+    BenchResult,
+    PerfScale,
+    bench_names,
+    record_run,
+    run_benches,
+)
+
+__all__ = [
+    "BenchResult",
+    "PerfScale",
+    "bench_names",
+    "record_run",
+    "run_benches",
+]

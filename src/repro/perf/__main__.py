@@ -1,0 +1,58 @@
+"""CLI: ``PYTHONPATH=src python -m repro.perf [--smoke] [--label current]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.harness import (
+    PerfScale,
+    bench_names,
+    format_table,
+    record_run,
+    run_benches,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf", description="hot-path microbenchmark harness"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny iteration counts (CI trajectory mode)",
+    )
+    parser.add_argument(
+        "--label", default="current",
+        help="run label in the trajectory file (use 'baseline' to set the "
+        "comparison point; default: current)",
+    )
+    parser.add_argument(
+        "--out", default="results/BENCH_perf.json",
+        help="trajectory JSON to append to (default: results/BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--bench", action="append", choices=bench_names(), metavar="NAME",
+        help="run only the named bench(es); repeatable",
+    )
+    parser.add_argument(
+        "--no-save", action="store_true", help="print results without recording"
+    )
+    args = parser.parse_args(argv)
+
+    scale = PerfScale.smoke() if args.smoke else PerfScale.full()
+    results = run_benches(scale, only=args.bench)
+    run = None
+    if not args.no_save:
+        run = record_run(args.out, args.label, scale, results)
+    print(f"repro.perf [{scale.mode}] label={args.label}")
+    print(format_table(results, run))
+    if run and "speedup_vs_baseline" in run:
+        headline = run["speedup_vs_baseline"].get("ycsb_e2e")
+        if headline is not None:
+            print(f"headline (ycsb_e2e) speedup vs baseline: {headline:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,335 @@
+"""Hot-path microbenchmarks and the ``BENCH_perf.json`` trajectory file.
+
+Each bench does its setup untimed, then times one tight measured section
+with :func:`time.perf_counter` and reports ``(ops, seconds)``.  Two scales
+exist: ``full`` (the committed before/after numbers) and ``smoke`` (seconds
+total — what CI runs per PR to accumulate the trajectory artifact).
+
+The JSON file holds a list of runs, each labelled (``baseline`` /
+``current`` / anything else) and stamped with the git revision, so speedups
+are always computed against the most recent ``baseline`` run at the same
+scale.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.common.bloom import BloomFilter
+from repro.common.cache import LRUCache
+from repro.common.keys import encode_key
+from repro.hotness.interval import interval_conditional_probabilities
+from repro.lsm.lsmtree import LSMOptions, LSMTree
+from repro.simssd import NVME_PROFILE, SimDevice
+from repro.simssd.fs import SimFilesystem
+from repro.simssd.traffic import TrafficKind
+from repro.ycsb import WorkloadRunner, YCSB_WORKLOADS
+from repro.ycsb.trace import Trace
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Iteration counts for every bench, at one of two sizes."""
+
+    trace_ops: int
+    dist_draws: int
+    bloom_keys: int
+    lru_ops: int
+    device_ios: int
+    lsm_records: int
+    interval_accesses: int
+    e2e_records: int
+    e2e_operations: int
+    mode: str = "full"
+
+    @classmethod
+    def full(cls) -> "PerfScale":
+        return cls(
+            trace_ops=50_000,
+            dist_draws=200_000,
+            bloom_keys=20_000,
+            lru_ops=100_000,
+            device_ios=50_000,
+            lsm_records=8_000,
+            interval_accesses=100_000,
+            e2e_records=8_000,
+            e2e_operations=8_000,
+            mode="full",
+        )
+
+    @classmethod
+    def smoke(cls) -> "PerfScale":
+        return cls(
+            trace_ops=5_000,
+            dist_draws=20_000,
+            bloom_keys=2_000,
+            lru_ops=10_000,
+            device_ios=5_000,
+            lsm_records=1_000,
+            interval_accesses=10_000,
+            e2e_records=1_200,
+            e2e_operations=1_200,
+            mode="smoke",
+        )
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench's measured section."""
+
+    ops: int
+    seconds: float
+
+    @property
+    def kops_per_s(self) -> float:
+        return self.ops / self.seconds / 1e3 if self.seconds > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "ops": self.ops,
+            "seconds": round(self.seconds, 6),
+            "kops_per_s": round(self.kops_per_s, 3),
+        }
+
+
+def _draw_many(gen, n: int) -> list[int]:
+    """Draw ``n`` keys, via the batch API when the generator has one."""
+    if hasattr(gen, "next_many"):
+        return list(gen.next_many(n))
+    return [gen.next() for _ in range(n)]
+
+
+# ------------------------------------------------------------------ benches
+
+
+def bench_trace_gen(scale: PerfScale) -> BenchResult:
+    """YCSB trace generation: zipfian mix (A) and latest-with-inserts (D)."""
+    n = scale.trace_ops
+    t0 = time.perf_counter()
+    Trace.from_workload(YCSB_WORKLOADS["A"], n, record_count=max(1_000, n), seed=3)
+    Trace.from_workload(YCSB_WORKLOADS["D"], n, record_count=max(1_000, n), seed=4)
+    return BenchResult(2 * n, time.perf_counter() - t0)
+
+
+def bench_distributions(scale: PerfScale) -> BenchResult:
+    """Scrambled-zipfian request draws (the runner's default distribution)."""
+    from repro.ycsb.distributions import ScrambledZipfianGenerator
+
+    gen = ScrambledZipfianGenerator(1_000_000, np.random.default_rng(11))
+    n = scale.dist_draws
+    t0 = time.perf_counter()
+    keys = _draw_many(gen, n)
+    seconds = time.perf_counter() - t0
+    assert len(keys) == n
+    return BenchResult(n, seconds)
+
+
+def bench_bloom(scale: PerfScale) -> BenchResult:
+    """Filter build plus present/absent probes (SSTable point-lookup path)."""
+    n = scale.bloom_keys
+    present = [encode_key(i) for i in range(n)]
+    absent = [encode_key(i) for i in range(n, 2 * n)]
+    t0 = time.perf_counter()
+    bf = BloomFilter.for_keys(present)
+    hits = sum(1 for k in present if k in bf)
+    sum(1 for k in absent if k in bf)
+    seconds = time.perf_counter() - t0
+    assert hits == n
+    return BenchResult(3 * n, seconds)
+
+
+def bench_lru_churn(scale: PerfScale) -> BenchResult:
+    """Shared DRAM page-LRU get/put churn with evictions."""
+    cache = LRUCache(64 * KiB)
+    n = scale.lru_ops
+    t0 = time.perf_counter()
+    for i in range(n):
+        key = i % 512  # 2x the resident set at charge=256 -> steady eviction
+        cache.get(key)
+        cache.put(key, i, charge=256)
+    return BenchResult(2 * n, time.perf_counter() - t0)
+
+
+def bench_device_charge(scale: PerfScale) -> BenchResult:
+    """Raw SimDevice I/O charging (every simulated byte flows through this)."""
+    dev = SimDevice(NVME_PROFILE)
+    n = scale.device_ios
+    t0 = time.perf_counter()
+    for _ in range(n):
+        dev.read_bytes_io(4 * KiB, TrafficKind.FOREGROUND)
+        dev.write_bytes_io(16 * KiB, TrafficKind.COMPACTION, sequential=True)
+    return BenchResult(2 * n, time.perf_counter() - t0)
+
+
+def bench_lsm_get_put(scale: PerfScale) -> BenchResult:
+    """LSMTree point writes then point reads through the block cache."""
+    n = scale.lsm_records
+    fs = SimFilesystem(SimDevice(NVME_PROFILE))
+    tree = LSMTree(fs, LSMOptions(), cache=LRUCache(256 * KiB))
+    rng = np.random.default_rng(21)
+    put_ids = rng.permutation(n)
+    get_ids = rng.permutation(n)
+    value = b"v" * 64
+    t0 = time.perf_counter()
+    for kid in put_ids:
+        tree.put(encode_key(int(kid)), value)
+    found = 0
+    for kid in get_ids:
+        v, _ = tree.get(encode_key(int(kid)))
+        if v is not None:
+            found += 1
+    seconds = time.perf_counter() - t0
+    assert found == n
+    return BenchResult(2 * n, seconds)
+
+
+def bench_interval_analysis(scale: PerfScale) -> BenchResult:
+    """Fig 6a access-interval conditional probabilities over a zipf trace."""
+    from repro.ycsb.distributions import ScrambledZipfianGenerator
+
+    gen = ScrambledZipfianGenerator(5_000, np.random.default_rng(31))
+    seq = _draw_many(gen, scale.interval_accesses)
+    t0 = time.perf_counter()
+    for history in (1, 2):
+        interval_conditional_probabilities(
+            seq, threshold=max(2, len(seq) // 100), history=history
+        )
+    return BenchResult(2 * scale.interval_accesses, time.perf_counter() - t0)
+
+
+def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
+    """A small fig8-style run: load HyperDB, then YCSB-B.  The headline."""
+    from repro.bench.context import BenchScale, build_store
+
+    bscale = BenchScale(
+        record_count=scale.e2e_records, operations=scale.e2e_operations
+    )
+    store = build_store("hyperdb", bscale)
+    runner = WorkloadRunner(
+        store,
+        record_count=bscale.record_count,
+        value_size=bscale.value_size,
+        clients=bscale.clients,
+        background_threads=bscale.background_threads,
+        seed=bscale.seed,
+    )
+    t0 = time.perf_counter()
+    runner.load()
+    runner.run(YCSB_WORKLOADS["B"], bscale.operations)
+    seconds = time.perf_counter() - t0
+    return BenchResult(scale.e2e_records + scale.e2e_operations, seconds)
+
+
+_BENCHES: Dict[str, Callable[[PerfScale], BenchResult]] = {
+    "trace_gen": bench_trace_gen,
+    "distributions": bench_distributions,
+    "bloom": bench_bloom,
+    "lru_churn": bench_lru_churn,
+    "device_charge": bench_device_charge,
+    "lsm_get_put": bench_lsm_get_put,
+    "interval_analysis": bench_interval_analysis,
+    "ycsb_e2e": bench_ycsb_e2e,
+}
+
+#: The bench whose speedup is the PR headline (acceptance: >= 1.5x).
+HEADLINE_BENCH = "ycsb_e2e"
+
+
+def bench_names() -> list[str]:
+    return list(_BENCHES)
+
+
+def run_benches(
+    scale: PerfScale, only: Optional[Iterable[str]] = None
+) -> Dict[str, BenchResult]:
+    names = list(only) if only else list(_BENCHES)
+    unknown = [n for n in names if n not in _BENCHES]
+    if unknown:
+        raise ValueError(f"unknown bench(es): {unknown}; have {list(_BENCHES)}")
+    return {name: _BENCHES[name](scale) for name in names}
+
+
+# --------------------------------------------------------------- trajectory
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:
+        return "unknown"
+
+
+def record_run(
+    path: str | Path,
+    label: str,
+    scale: PerfScale,
+    results: Dict[str, BenchResult],
+) -> dict:
+    """Append a labelled run to the trajectory file and recompute speedups.
+
+    Returns the run entry (with ``speedup_vs_baseline`` when a ``baseline``
+    run at the same mode exists in the file).
+    """
+    path = Path(path)
+    doc = {"schema": 1, "runs": []}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            pass  # corrupt trajectory: start over rather than crash the bench
+    run = {
+        "label": label,
+        "mode": scale.mode,
+        "git": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benches": {name: r.to_json() for name, r in results.items()},
+    }
+    baseline = next(
+        (
+            r
+            for r in reversed(doc.get("runs", []))
+            if r.get("label") == "baseline" and r.get("mode") == scale.mode
+        ),
+        None,
+    )
+    if baseline is not None and label != "baseline":
+        speedups = {}
+        for name, res in results.items():
+            base = baseline["benches"].get(name)
+            if base and base["seconds"] > 0 and res.seconds > 0:
+                base_rate = base["ops"] / base["seconds"]
+                speedups[name] = round(res.ops / res.seconds / base_rate, 3)
+        run["speedup_vs_baseline"] = speedups
+        if HEADLINE_BENCH in speedups:
+            doc["headline_speedup"] = speedups[HEADLINE_BENCH]
+    doc.setdefault("runs", []).append(run)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return run
+
+
+def format_table(results: Dict[str, BenchResult], run: Optional[dict] = None) -> str:
+    speedups = (run or {}).get("speedup_vs_baseline", {})
+    lines = [f"{'bench':<20}{'ops':>10}{'seconds':>10}{'kops/s':>10}{'vs base':>9}"]
+    for name, r in results.items():
+        vs = f"{speedups[name]:.2f}x" if name in speedups else "-"
+        lines.append(
+            f"{name:<20}{r.ops:>10}{r.seconds:>10.3f}{r.kops_per_s:>10.1f}{vs:>9}"
+        )
+    return "\n".join(lines)

@@ -52,6 +52,34 @@ class SimDevice:
         #: Extra I/O attempts issued because a transient fault was retried.
         self.retried_ios = 0
         self._allocated_pages = 0
+        # Page-charge memo: request shapes repeat millions of times across a
+        # run, so (num_pages, sequential) -> (ios, latency, transfer) is
+        # looked up instead of recomputed per I/O.  Keyed on the packed int
+        # ``num_pages << 1 | sequential`` (ints hash cheaper than tuples).
+        # Bounded: distinct request shapes are few, but a runaway caller
+        # must not leak.
+        self._read_charges: dict[int, tuple[int, float, float]] = {}
+        self._write_charges: dict[int, tuple[int, float, float]] = {}
+
+    _CHARGE_MEMO_MAX = 4096
+
+    def _charge_for(
+        self, num_pages: int, sequential: bool, write: bool
+    ) -> tuple[int, float, float]:
+        memo = self._write_charges if write else self._read_charges
+        entry = memo.get(num_pages << 1 | sequential)
+        if entry is None:
+            ios = 1 if sequential else num_pages
+            if write:
+                latency = ios * self.profile.write_latency_s
+                transfer = num_pages * self.page_size / self.profile.write_bandwidth
+            else:
+                latency = ios * self.profile.read_latency_s
+                transfer = num_pages * self.page_size / self.profile.read_bandwidth
+            entry = (ios, latency, transfer)
+            if len(memo) < self._CHARGE_MEMO_MAX:
+                memo[num_pages << 1 | sequential] = entry
+        return entry
 
     @property
     def powered_off(self) -> bool:
@@ -120,9 +148,7 @@ class SimDevice:
         """
         if num_pages <= 0:
             return 0.0
-        ios = 1 if sequential else num_pages
-        latency = ios * self.profile.read_latency_s
-        transfer = num_pages * self.page_size / self.profile.read_bandwidth
+        ios, latency, transfer = self._charge_for(num_pages, sequential, write=False)
         service = 0.0
         attempt = 0
         while True:
@@ -155,9 +181,7 @@ class SimDevice:
         """
         if num_pages <= 0:
             return 0.0
-        ios = 1 if sequential else num_pages
-        latency = ios * self.profile.write_latency_s
-        transfer = num_pages * self.page_size / self.profile.write_bandwidth
+        ios, latency, transfer = self._charge_for(num_pages, sequential, write=True)
         service = 0.0
         attempt = 0
         while True:

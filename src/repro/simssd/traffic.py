@@ -63,6 +63,9 @@ class TrafficStats:
     lanes: Dict[TrafficKind, _Lane] = field(
         default_factory=lambda: {k: _Lane() for k in TrafficKind}
     )
+    #: Running latency+transfer total across all lanes, kept incrementally
+    #: so the per-op busy-time snapshots in the runner are O(1).
+    _busy_s: float = 0.0
 
     def note_read(
         self, kind: TrafficKind, nbytes: int, ios: int, latency_s: float, transfer_s: float
@@ -72,6 +75,7 @@ class TrafficStats:
         lane.read_ios += ios
         lane.read_latency_s += latency_s
         lane.read_transfer_s += transfer_s
+        self._busy_s += latency_s + transfer_s
 
     def note_write(
         self, kind: TrafficKind, nbytes: int, ios: int, latency_s: float, transfer_s: float
@@ -81,6 +85,7 @@ class TrafficStats:
         lane.write_ios += ios
         lane.write_latency_s += latency_s
         lane.write_transfer_s += transfer_s
+        self._busy_s += latency_s + transfer_s
 
     # ----------------------------------------------------------- aggregates
 
@@ -109,6 +114,8 @@ class TrafficStats:
 
     def busy_seconds(self, kind: TrafficKind | None = None) -> float:
         """Total device time consumed (latency + transfer), optionally per lane."""
+        if kind is None:
+            return self._busy_s
         return self.latency_seconds(kind) + self.transfer_seconds(kind)
 
     def background_busy_seconds(self) -> float:
@@ -140,6 +147,7 @@ class TrafficStats:
         }
 
     def reset(self) -> None:
+        self._busy_s = 0.0
         for lane in self.lanes.values():
             lane.read_bytes = lane.write_bytes = 0
             lane.read_ios = lane.write_ios = 0

@@ -23,6 +23,10 @@ class UniformGenerator:
     def next(self) -> int:
         return int(self.rng.integers(0, self.item_count))
 
+    def next_many(self, n: int) -> np.ndarray:
+        """Draw ``n`` keys in one vectorized call."""
+        return self.rng.integers(0, self.item_count, size=n)
+
     def set_item_count(self, n: int) -> None:
         self.item_count = n
 
@@ -72,7 +76,29 @@ class ZipfianGenerator:
             return 0
         if uz < 1.0 + 0.5**self.theta:
             return 1
-        return int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+        rank = int(self.item_count * max(self.eta * u - self.eta + 1.0, 0.0) ** self.alpha)
+        # The approximation reaches item_count exactly as u -> 1; clamp into
+        # [0, item_count) so the tail draw stays a valid rank.
+        return min(rank, self.item_count - 1)
+
+    def next_many(self, n: int) -> np.ndarray:
+        """Draw ``n`` zipfian ranks in one vectorized call.
+
+        Consumes the RNG stream identically to ``n`` calls of :meth:`next`
+        (one uniform draw per rank), so batched and serial generation
+        produce the same sequence.
+        """
+        u = self.rng.random(n)
+        uz = u * self.zetan
+        with np.errstate(divide="ignore", over="ignore"):
+            vals = self.item_count * np.maximum(
+                self.eta * u - self.eta + 1.0, 0.0
+            ) ** self.alpha
+        vals = np.minimum(vals, float(self.item_count - 1))
+        ranks = vals.astype(np.int64)
+        ranks[uz < 1.0 + 0.5**self.theta] = 1
+        ranks[uz < 1.0] = 0
+        return ranks
 
     def set_item_count(self, n: int) -> None:
         if n != self.item_count:
@@ -93,6 +119,18 @@ def fnv1a_64(value: int) -> int:
     return h
 
 
+def fnv1a_64_many(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`fnv1a_64` over an integer array (uint64 results)."""
+    v = np.asarray(values).astype(np.uint64)
+    h = np.full(v.shape, _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    byte_mask = np.uint64(0xFF)
+    with np.errstate(over="ignore"):
+        for shift in range(0, 64, 8):
+            h = (h ^ ((v >> np.uint64(shift)) & byte_mask)) * prime
+    return h
+
+
 class ScrambledZipfianGenerator:
     """Zipfian ranks hashed over the key space — YCSB's request default."""
 
@@ -105,6 +143,11 @@ class ScrambledZipfianGenerator:
     def next(self) -> int:
         rank = self._zipf.next()
         return fnv1a_64(rank) % self.item_count
+
+    def next_many(self, n: int) -> np.ndarray:
+        """Draw ``n`` scrambled keys; RNG-stream-identical to ``n`` nexts."""
+        ranks = self._zipf.next_many(n)
+        return (fnv1a_64_many(ranks) % np.uint64(self.item_count)).astype(np.int64)
 
     def set_item_count(self, n: int) -> None:
         self.item_count = n
@@ -123,6 +166,11 @@ class LatestGenerator:
     def next(self) -> int:
         rank = self._zipf.next()
         return max(0, self.item_count - 1 - rank)
+
+    def next_many(self, n: int) -> np.ndarray:
+        """Draw ``n`` recency-skewed keys; RNG-stream-identical to ``n`` nexts."""
+        ranks = self._zipf.next_many(n)
+        return np.maximum(0, self.item_count - 1 - ranks)
 
     def set_item_count(self, n: int) -> None:
         self.item_count = n

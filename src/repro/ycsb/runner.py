@@ -160,13 +160,23 @@ class WorkloadRunner:
         #: Per-op device shares, parallel to service_samples[op]: which
         #: device served the op's foreground I/O (for queue attribution).
         device_shares: dict[OpType, list[dict[str, float]]] = {op: [] for op in ops}
-        device_list = list(devices.items())
+        device_names = list(devices)
+        device_objs = list(devices.values())
         cpu_total = 0.0
         fg_service_total = 0.0
 
-        for op_idx in choices:
+        # Request keys are drawn in contiguous batches between inserts (the
+        # only ops that change the generator's item count): vectorized draws
+        # that consume the RNG stream exactly as per-op draws would.
+        insert_code = ops.index(OpType.INSERT)
+        choice_list: list[int] = choices.tolist()  # python ints iterate faster
+        n_choices = len(choice_list)
+        key_buf: "np.ndarray | list[int]" = []
+        buf_pos = 0
+
+        for i, op_idx in enumerate(choice_list):
             op = ops[op_idx]
-            busy_before = {name: d.busy_seconds() for name, d in device_list}
+            busy_before = [d.busy_seconds() for d in device_objs]
             cpu = CPU_PER_OP
             if op is OpType.INSERT:
                 kid = self.record_count + self._insert_count
@@ -175,7 +185,14 @@ class WorkloadRunner:
                 service = self.store.put(encode_key(kid), self._value(kid))
                 cpu += CPU_PER_BYTE * self.value_size
             else:
-                kid = generator.next()
+                if buf_pos >= len(key_buf):
+                    j = i
+                    while j < n_choices and choice_list[j] != insert_code:
+                        j += 1
+                    key_buf = generator.next_many(j - i)
+                    buf_pos = 0
+                kid = int(key_buf[buf_pos])
+                buf_pos += 1
                 key = encode_key(kid)
                 if op is OpType.READ:
                     _, service = self.store.get(key)
@@ -195,14 +212,17 @@ class WorkloadRunner:
             # busy time moved during it; background work triggered inside
             # the call inflates the deltas, so shares are normalized to the
             # foreground service.
-            deltas = {
-                name: max(0.0, d.busy_seconds() - busy_before[name])
-                for name, d in device_list
-            }
-            total_delta = sum(deltas.values())
+            shares: dict[str, float] = {}
+            total_delta = 0.0
+            for k, d in enumerate(device_objs):
+                delta = d.busy_seconds() - busy_before[k]
+                if delta > 0:
+                    shares[device_names[k]] = delta
+                    total_delta += delta
             if total_delta > 0 and service > 0:
                 scale_f = min(1.0, service / total_delta)
-                shares = {n: v * scale_f for n, v in deltas.items() if v > 0}
+                if scale_f < 1.0:
+                    shares = {n: v * scale_f for n, v in shares.items()}
             else:
                 shares = {}
             device_shares[op].append(shares)

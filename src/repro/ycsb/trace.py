@@ -128,26 +128,40 @@ class Trace:
             gen = ScrambledZipfianGenerator(n, rng, spec.theta)
         mix = np.array([spec.read, spec.update, spec.insert, spec.scan, spec.rmw])
         names = ("get", "put", "insert", "scan", "rmw")
+        insert_code = names.index("insert")
         choices = rng.choice(len(names), size=operations, p=mix)
         trace = cls()
         inserted = 0
-        for c in choices:
-            op = names[c]
-            if op == "insert":
+        # Key ids are drawn in contiguous batches between inserts (inserts
+        # are the only ops that change the generator's item count), which
+        # lets the generators vectorize while consuming the RNG stream
+        # exactly as per-op draws would.
+        i = 0
+        total = len(choices)
+        while i < total:
+            if choices[i] == insert_code:
                 trace.append(TraceOp("put", record_count + inserted, value_size))
                 inserted += 1
                 gen.set_item_count(record_count + inserted)
+                i += 1
                 continue
-            kid = gen.next()
-            if op == "get":
-                trace.append(TraceOp("get", kid))
-            elif op == "put":
-                trace.append(TraceOp("put", kid, value_size))
-            elif op == "scan":
-                trace.append(TraceOp("scan", kid, spec.scan_length))
-            else:  # rmw
-                trace.append(TraceOp("get", kid))
-                trace.append(TraceOp("put", kid, value_size))
+            j = i
+            while j < total and choices[j] != insert_code:
+                j += 1
+            kids = gen.next_many(j - i)
+            for c, kid_raw in zip(choices[i:j], kids):
+                op = names[c]
+                kid = int(kid_raw)
+                if op == "get":
+                    trace.append(TraceOp("get", kid))
+                elif op == "put":
+                    trace.append(TraceOp("put", kid, value_size))
+                elif op == "scan":
+                    trace.append(TraceOp("scan", kid, spec.scan_length))
+                else:  # rmw
+                    trace.append(TraceOp("get", kid))
+                    trace.append(TraceOp("put", kid, value_size))
+            i = j
         return trace
 
     # -------------------------------------------------------------- replay

@@ -63,3 +63,54 @@ class TestBloomFilter:
         for i in range(100):
             bf.add(encode_key(i))
         assert bf.fill_ratio() > before
+
+    @pytest.mark.parametrize("bits_per_key", [4, 16])
+    def test_serialization_round_trip_nondefault_bits(self, bits_per_key):
+        keys = [encode_key(i) for i in range(64)]
+        bf = BloomFilter(capacity=64, bits_per_key=bits_per_key)
+        for k in keys:
+            bf.add(k)
+        clone = BloomFilter.from_bytes(bf.to_bytes())
+        assert clone.capacity == 64
+        assert clone.bits_per_key == bits_per_key
+        assert clone.num_bits == bf.num_bits
+        assert clone.num_hashes == bf.num_hashes
+        assert clone.count == bf.count
+        assert clone.is_full == bf.is_full
+        assert all(k in clone for k in keys)
+        assert clone.to_bytes() == bf.to_bytes()
+
+    def test_round_trip_partial_fill_preserves_count(self):
+        bf = BloomFilter(capacity=100, bits_per_key=16)
+        for i in range(10):
+            bf.add(encode_key(i))
+        clone = BloomFilter.from_bytes(bf.to_bytes())
+        assert clone.count == 10
+        assert not clone.is_full
+        clone.add(encode_key(999))
+        assert clone.count == 11
+
+    def test_truncated_bit_array_rejected(self):
+        bf = BloomFilter(capacity=64, bits_per_key=16)
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(bf.to_bytes()[:-1])
+
+    def test_add_many_matches_scalar_adds(self):
+        # The vectorized and scalar paths must place identical bits.
+        keys = [encode_key(i) for i in range(200)]
+        scalar = BloomFilter(capacity=200)
+        for k in keys:
+            scalar.add(k)
+        bulk = BloomFilter(capacity=200)
+        bulk.add_many(keys)
+        assert scalar.to_bytes() == bulk.to_bytes()
+
+    def test_hashed_api_matches_keyed(self):
+        from repro.common.bloom import base_hashes
+
+        bf = BloomFilter(capacity=10)
+        h1, h2 = base_hashes(b"k")
+        bf.add_hashed(h1, h2)
+        assert b"k" in bf
+        assert bf.contains_hashed(h1, h2)
+        assert bf.count == 1

@@ -68,6 +68,26 @@ class TestLRUCache:
         c.clear()
         assert len(c) == 0 and c.used_bytes == 0
 
+    def test_uncacheable_overwrite_releases_charge(self):
+        # Regression: overwriting a cached entry with an uncacheable value
+        # used to drop the entry without refunding its charge, leaking
+        # used_bytes until the budget was permanently exhausted.
+        c = LRUCache(10)
+        c.put("k", 1, charge=8)
+        c.put("k", 2, charge=100)  # uncacheable; must release the old 8B
+        assert c.used_bytes == 0
+        c.put("a", 3, charge=10)  # the full budget is available again
+        assert c.get("a") == 3
+        assert c.used_bytes == 10
+
+    def test_repeated_uncacheable_overwrites_do_not_leak(self):
+        c = LRUCache(10)
+        for _ in range(5):
+            c.put("k", 1, charge=6)
+            c.put("k", 2, charge=11)
+        assert len(c) == 0
+        assert c.used_bytes == 0
+
     def test_zero_capacity(self):
         c = LRUCache(0)
         c.put("a", 1, charge=1)
@@ -112,6 +132,30 @@ class TestObjectCache:
         assert [k for k, _ in out] == ["a", "b"]
         assert spilled == ["a", "b"]
         assert len(c) == 0
+
+    def test_drain_callback_failure_no_double_spill(self):
+        # Regression: drain used to spill an entry before removing it, so a
+        # callback failure left the entry in the cache and a retried drain
+        # flushed it to the hot zone twice.
+        spilled = []
+
+        def on_evict(key, value):
+            if key == "b":
+                raise RuntimeError("spill target unavailable")
+            spilled.append(key)
+
+        c = ObjectCache(4, on_evict=on_evict)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        with pytest.raises(RuntimeError):
+            c.drain()
+        # "a" spilled once; "b" was popped before its callback failed.
+        assert spilled == ["a"]
+        assert "a" not in c and "b" not in c
+        out = c.drain()
+        assert [k for k, _ in out] == ["c"]
+        assert spilled == ["a", "c"]
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):

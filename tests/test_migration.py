@@ -101,6 +101,21 @@ class TestMigrationScheduler:
             got, _ = cap.get(key)
             assert on_nvme or (got is not None and got.value == b"x" * 400), i
 
+    def test_one_job_per_partition_invocation(self):
+        # Regression: demotion_jobs used to count every demoted *zone*; a
+        # job is one background migration invocation per partition and may
+        # demote many zones before it finishes.
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap)
+        i = 0
+        while not perf.partitions_over_watermark() and i < KEYSPACE:
+            perf.put(rec(i))
+            i += 1
+        zones = sched.run_if_needed()
+        assert zones > 1  # the drain to the low watermark spans zones
+        assert sched.stats.demotion_jobs <= len(perf.partitions)
+        assert sched.stats.demotion_jobs < zones
+
     def test_stats_track_bytes(self):
         perf, cap = make_tiers()
         sched = MigrationScheduler(perf, cap)

@@ -1,0 +1,87 @@
+"""Tests for the repro.perf microbenchmark harness plumbing."""
+
+import json
+
+from repro.perf.harness import (
+    HEADLINE_BENCH,
+    BenchResult,
+    PerfScale,
+    bench_names,
+    format_table,
+    record_run,
+    run_benches,
+)
+
+#: A deliberately tiny scale so the whole harness runs in well under a
+#: second inside the test suite.
+TINY = PerfScale(
+    trace_ops=200,
+    dist_draws=500,
+    bloom_keys=100,
+    lru_ops=500,
+    device_ios=200,
+    lsm_records=100,
+    interval_accesses=500,
+    e2e_records=150,
+    e2e_operations=150,
+    mode="smoke",
+)
+
+
+class TestRunBenches:
+    def test_all_benches_run_and_measure(self):
+        results = run_benches(TINY)
+        assert set(results) == set(bench_names())
+        assert HEADLINE_BENCH in results
+        for name, r in results.items():
+            assert isinstance(r, BenchResult)
+            assert r.ops > 0, name
+            assert r.seconds >= 0, name
+
+    def test_bench_subset_and_unknown_rejected(self):
+        results = run_benches(TINY, only=["lru_churn"])
+        assert list(results) == ["lru_churn"]
+        try:
+            run_benches(TINY, only=["nope"])
+        except ValueError as exc:
+            assert "nope" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("unknown bench accepted")
+
+
+class TestRecordRun:
+    def test_trajectory_and_speedups(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        base = {"lru_churn": BenchResult(ops=1000, seconds=2.0),
+                HEADLINE_BENCH: BenchResult(ops=1000, seconds=3.0)}
+        cur = {"lru_churn": BenchResult(ops=1000, seconds=1.0),
+               HEADLINE_BENCH: BenchResult(ops=1000, seconds=2.0)}
+        record_run(path, "baseline", TINY, base)
+        run = record_run(path, "current", TINY, cur)
+        assert run["speedup_vs_baseline"]["lru_churn"] == 2.0
+        assert run["speedup_vs_baseline"][HEADLINE_BENCH] == 1.5
+
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1
+        assert [r["label"] for r in doc["runs"]] == ["baseline", "current"]
+        assert doc["headline_speedup"] == 1.5
+
+    def test_speedup_only_against_same_mode_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        full = PerfScale.full()
+        record_run(path, "baseline", full, {"lru_churn": BenchResult(1000, 2.0)})
+        run = record_run(path, "current", TINY, {"lru_churn": BenchResult(1000, 1.0)})
+        assert "speedup_vs_baseline" not in run
+
+    def test_corrupt_trajectory_restarts(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("{not json")
+        record_run(path, "baseline", TINY, {"lru_churn": BenchResult(10, 0.1)})
+        doc = json.loads(path.read_text())
+        assert len(doc["runs"]) == 1
+
+    def test_format_table_mentions_every_bench(self):
+        results = {"lru_churn": BenchResult(ops=1000, seconds=0.5)}
+        out = format_table(results)
+        assert "lru_churn" in out
+        assert "2.0" in out  # 1000 ops / 0.5 s = 2.0 kops/s

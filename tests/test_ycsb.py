@@ -72,6 +72,65 @@ class TestDistributions:
             ZipfianGenerator(10, rng, theta=1.0)
 
 
+class _ForcedRng:
+    """Stub RNG whose uniform draws always return a fixed value."""
+
+    def __init__(self, u: float) -> None:
+        self._u = u
+
+    def random(self, n=None):
+        if n is None:
+            return self._u
+        return np.full(n, self._u)
+
+
+class TestDistributionBoundaries:
+    def test_zipfian_tail_draw_stays_in_range(self):
+        # Regression: the closed-form inverse CDF reaches item_count exactly
+        # as u -> 1, and the generator used to return that out-of-range rank.
+        n = 1000
+        gen = ZipfianGenerator(n, _ForcedRng(np.nextafter(1.0, 0.0)))
+        assert gen.next() == n - 1
+        batch = gen.next_many(5)
+        assert batch.tolist() == [n - 1] * 5
+
+    def test_zipfian_low_u_hits_head_ranks(self):
+        n = 1000
+        gen = ZipfianGenerator(n, _ForcedRng(0.0))
+        assert gen.next() == 0
+        assert gen.next_many(3).tolist() == [0, 0, 0]
+
+    def test_scrambled_and_latest_tail_in_range(self):
+        n = 1000
+        u = np.nextafter(1.0, 0.0)
+        scrambled = ScrambledZipfianGenerator(n, _ForcedRng(u))
+        assert 0 <= scrambled.next() < n
+        assert all(0 <= int(k) < n for k in scrambled.next_many(5))
+        # Latest maps rank r to item_count-1-r; an out-of-range rank would
+        # have surfaced here as a negative key.
+        latest = LatestGenerator(n, _ForcedRng(u))
+        assert latest.next() == 0
+        assert latest.next_many(5).tolist() == [0] * 5
+
+    @pytest.mark.parametrize(
+        "cls", [UniformGenerator, ZipfianGenerator, ScrambledZipfianGenerator, LatestGenerator]
+    )
+    def test_next_many_matches_sequential(self, cls):
+        # Batched draws must consume the RNG stream exactly like serial ones.
+        serial = cls(5000, np.random.default_rng(42))
+        batched = cls(5000, np.random.default_rng(42))
+        expect = [serial.next() for _ in range(500)]
+        got = batched.next_many(500)
+        assert [int(k) for k in got] == expect
+
+    def test_fnv1a_many_matches_scalar(self):
+        from repro.ycsb.distributions import fnv1a_64, fnv1a_64_many
+
+        values = np.array([0, 1, 2, 97, 2**40, 2**63 - 1], dtype=np.uint64)
+        got = fnv1a_64_many(values)
+        assert [int(h) for h in got] == [fnv1a_64(int(v)) for v in values]
+
+
 class TestWorkloadSpecs:
     def test_standard_workloads_defined(self):
         assert set(YCSB_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
