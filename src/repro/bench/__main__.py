@@ -2,36 +2,89 @@
 
 Usage::
 
-    python -m repro.bench                 # every figure
-    python -m repro.bench fig8 fig11      # a subset
-    REPRO_SCALE=4 python -m repro.bench   # larger datasets
+    python -m repro.bench                      # every figure, serially
+    python -m repro.bench fig8 fig11           # a subset
+    python -m repro.bench --workers 4          # fan cells across 4 processes
+    python -m repro.bench --digest             # print a sha256 of all tables
+    REPRO_SCALE=4 python -m repro.bench        # larger datasets
+
+``--workers N`` fans each figure's independent cells across N worker
+processes (``repro.parallel``); tables are digest-identical at every
+worker count, which ``--digest`` makes checkable (CI asserts the
+``--workers 2`` digest equals the serial one).  ``--timing-out FILE``
+writes per-cell wall-clock timings as JSON for speedup analysis.
 """
 
 from __future__ import annotations
 
+import argparse
+import hashlib
+import json
 import sys
 import time
 
-from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.experiments import ALL_EXPERIMENTS, LAST_JOB_TIMINGS
 from repro.bench.reporting import format_table
+from repro.parallel import host_metadata
+from repro.parallel.pool import timing_records
 
 
-def main(argv: list[str]) -> int:
-    wanted = argv or list(ALL_EXPERIMENTS)
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="regenerate the paper's figures as text tables",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="FIG",
+        help=f"experiments to run (default: all of {list(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for cell fan-out (1 = serial in-process, "
+        "0 = one per core; results are identical at any count)",
+    )
+    parser.add_argument(
+        "--digest", action="store_true",
+        help="print 'DIGEST <sha256>' over all rendered tables (timing "
+        "lines excluded), for serial/parallel equivalence checks",
+    )
+    parser.add_argument(
+        "--timing-out", metavar="FILE", default=None,
+        help="write per-cell job timings + host metadata as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
+
+    tables: list[str] = []
+    timings: dict[str, list[dict]] = {}
     for name in wanted:
         start = time.time()
-        result = ALL_EXPERIMENTS[name]()
-        print(format_table(result["title"], result["headers"], result["rows"]))
+        result = ALL_EXPERIMENTS[name](workers=args.workers)
+        tables.append(format_table(result["title"], result["headers"], result["rows"]))
         if "rows_b" in result:
-            print()
-            print(
+            tables.append(
                 format_table(result["title_b"], result["headers_b"], result["rows_b"])
             )
+        print(tables[-1] if "rows_b" not in result else "\n\n".join(tables[-2:]))
         print(f"[{name} took {time.time() - start:.1f}s]\n")
+        timings[name] = timing_records(LAST_JOB_TIMINGS.get(name, []))
+
+    if args.digest:
+        digest = hashlib.sha256("\n\n".join(tables).encode()).hexdigest()
+        print(f"DIGEST {digest}")
+    if args.timing_out:
+        doc = {
+            "host": host_metadata(workers=args.workers),
+            "experiments": timings,
+        }
+        with open(args.timing_out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
     return 0
 
 

@@ -6,6 +6,15 @@ workloads the paper uses, and returns a dict with ``title``, ``headers``,
 against.  Absolute numbers differ from the paper (simulator, scaled data);
 the *shapes* — who wins, by what factor, where crossovers sit — are the
 reproduction target recorded in EXPERIMENTS.md.
+
+Every figure is a grid of independent cells (store × thread-count,
+store × skew, …).  Each cell is a top-level function that builds its own
+stores and RNG streams from explicit seeds, so the grid fans out across
+worker processes via :mod:`repro.parallel`: pass ``workers=N`` (or
+``python -m repro.bench --workers N``).  Cells are submitted in the same
+nested-loop order the serial code used and collected in submission order,
+so tables and raw series are byte-identical at every worker count —
+``workers=1`` runs the cells in-process with no pool at all.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ from repro.hotness.interval import (
     interval_conditional_probabilities,
     probability_summary,
 )
+from repro.parallel import Job, run_jobs
+from repro.parallel.pool import JobResult, unwrap_all
 from repro.ycsb import WorkloadRunner, WorkloadSpec, YCSB_WORKLOADS
 
 
@@ -40,10 +51,99 @@ def _loaded_runner(store_name: str, scale: BenchScale, **runner_kw) -> WorkloadR
 
 WRITE_ONLY = WorkloadSpec("write-only", update=1.0, distribution="uniform")
 
+#: Per-job timing of the most recent experiment call, keyed by experiment
+#: name — the CLI drains this into the ``--timing-out`` artifact.
+LAST_JOB_TIMINGS: dict[str, list[JobResult]] = {}
+
+
+def _run_cells(name: str, jobs: list[Job], workers: int) -> list:
+    """Run one figure's cell jobs, remember their timings, return values."""
+    results = run_jobs(jobs, workers=workers)
+    LAST_JOB_TIMINGS[name] = results
+    return unwrap_all(results)
+
+
+# ------------------------------------------------------------------- cells
+#
+# One top-level (hence picklable) function per cell shape.  A cell builds
+# everything it needs from its arguments and returns plain data — never a
+# live store or runner — so results cross process boundaries cheaply.
+
+
+def _fig2_cell(store_name: str, bg_threads: int, scale: BenchScale) -> dict:
+    runner = _loaded_runner(store_name, scale, background_threads=bg_threads)
+    result = runner.run(WRITE_ONLY, scale.operations)
+    devices = runner.store.devices()
+    return {
+        "nvme_read_Bps": result.read_bytes("nvme") / result.elapsed_s,
+        "nvme_write_Bps": result.write_bytes("nvme") / result.elapsed_s,
+        "nvme_capacity_util": result.space_used["nvme"] / devices["nvme"].capacity_bytes,
+        "sata_capacity_util": result.space_used["sata"] / devices["sata"].capacity_bytes,
+    }
+
+
+def _fig3_cell(
+    store_name: str, bg_threads: int, scale: BenchScale, want_levels: bool
+) -> dict:
+    runner = _loaded_runner(store_name, scale, background_threads=bg_threads)
+    result = runner.run(WRITE_ONLY, scale.operations)
+    comp_bytes = result.read_bytes("sata", "compaction") + result.write_bytes(
+        "sata", "compaction"
+    )
+    bw = comp_bytes / result.elapsed_s
+    sata_dev = runner.store.devices()["sata"]
+    frac = bw / (sata_dev.profile.write_bandwidth + sata_dev.profile.read_bandwidth)
+    levels = None
+    if want_levels:
+        tree = getattr(runner.store, "tree", None)
+        if tree is not None:
+            per_level = dict(tree.compactor.stats.write_bytes_by_level)
+            per_level_rd = dict(tree.compactor.stats.read_bytes_by_level)
+            levels = {
+                lvl: per_level.get(lvl, 0) + per_level_rd.get(lvl, 0)
+                for lvl in set(per_level) | set(per_level_rd)
+            }
+    return {"bw": bw, "frac": frac, "levels": levels}
+
+
+def _fig6a_cell(trace: list, threshold: int, history: int) -> dict:
+    return probability_summary(
+        interval_conditional_probabilities(trace, threshold=threshold, history=history)
+    )
+
+
+def _workload_cell(
+    store_name: str, scale: BenchScale, spec: WorkloadSpec, operations: int
+):
+    """The generic figure cell: load a store, run one workload, return the
+    :class:`RunResult` (figs 8, 9a-c, 10, 11)."""
+    runner = _loaded_runner(store_name, scale)
+    return runner.run(spec, operations)
+
+
+def _ablation_cell(overrides: dict, scale: BenchScale) -> dict:
+    store = build_store("hyperdb", scale, **overrides)
+    runner = WorkloadRunner(
+        store,
+        record_count=scale.record_count,
+        value_size=scale.value_size,
+        clients=scale.clients,
+        background_threads=scale.background_threads,
+        seed=scale.seed,
+    )
+    runner.load()
+    result = runner.run(YCSB_WORKLOADS["A"], scale.operations)
+    return {
+        "result": result,
+        "space_amp": store.capacity_tier.space_amplification(),
+    }
+
 
 # --------------------------------------------------------------------- Fig 2
 
-def fig2_utilization(scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8)):
+def fig2_utilization(
+    scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8), workers: int = 1
+):
     """Fig. 2: NVMe bandwidth (read vs write) and per-tier capacity
     utilization for RocksDB and PrismDB under a write-only uniform load.
 
@@ -51,26 +151,20 @@ def fig2_utilization(scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8)):
     with the caching architecture pinned at its high watermark, where every
     write forces migration."""
     scale = scale or BenchScale.default(nvme_ratio=0.3)
+    grid = [(s, t) for s in ("rocksdb", "prismdb") for t in threads]
+    jobs = [
+        Job(_fig2_cell, args=(s, t, scale), label=f"fig2:{s}:bg{t}")
+        for s, t in grid
+    ]
+    cells = _run_cells("fig2", jobs, workers)
     rows = []
     raw = {}
-    for store_name in ("rocksdb", "prismdb"):
-        for t in threads:
-            runner = _loaded_runner(store_name, scale, background_threads=t)
-            result = runner.run(WRITE_ONLY, scale.operations)
-            nvme_read = result.read_bytes("nvme") / result.elapsed_s
-            nvme_write = result.write_bytes("nvme") / result.elapsed_s
-            nvme_cap = result.space_used["nvme"] / runner.store.devices()["nvme"].capacity_bytes
-            sata_cap = result.space_used["sata"] / runner.store.devices()["sata"].capacity_bytes
-            rows.append(
-                (store_name, t, mb(nvme_read), mb(nvme_write),
-                 nvme_cap * 100, sata_cap * 100)
-            )
-            raw[(store_name, t)] = {
-                "nvme_read_Bps": nvme_read,
-                "nvme_write_Bps": nvme_write,
-                "nvme_capacity_util": nvme_cap,
-                "sata_capacity_util": sata_cap,
-            }
+    for (store_name, t), cell in zip(grid, cells):
+        rows.append(
+            (store_name, t, mb(cell["nvme_read_Bps"]), mb(cell["nvme_write_Bps"]),
+             cell["nvme_capacity_util"] * 100, cell["sata_capacity_util"] * 100)
+        )
+        raw[(store_name, t)] = cell
     return {
         "title": "Fig 2: bandwidth (MiB/s) and capacity utilization (%), write-only",
         "headers": ["store", "bg threads", "nvme rd MiB/s", "nvme wr MiB/s",
@@ -82,35 +176,31 @@ def fig2_utilization(scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8)):
 
 # --------------------------------------------------------------------- Fig 3
 
-def fig3_compaction_overhead(scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8)):
+def fig3_compaction_overhead(
+    scale: Optional[BenchScale] = None, threads=(1, 2, 4, 8), workers: int = 1
+):
     """Fig. 3: capacity-tier bandwidth consumed by compaction vs thread
     count (a) and the per-level compaction I/O breakdown (b).
 
     Constrained NVMe ratio, like Fig. 2 (the same §2.3 motivation setup)."""
     scale = scale or BenchScale.default(nvme_ratio=0.3)
+    grid = [(s, t) for s in ("rocksdb", "prismdb") for t in threads]
+    jobs = [
+        Job(
+            _fig3_cell,
+            args=(s, t, scale, t == threads[-1]),
+            label=f"fig3:{s}:bg{t}",
+        )
+        for s, t in grid
+    ]
+    cells = _run_cells("fig3", jobs, workers)
     rows_a = []
     raw = {"bandwidth": {}, "levels": {}}
-    for store_name in ("rocksdb", "prismdb"):
-        for t in threads:
-            runner = _loaded_runner(store_name, scale, background_threads=t)
-            result = runner.run(WRITE_ONLY, scale.operations)
-            comp_bytes = result.read_bytes("sata", "compaction") + result.write_bytes(
-                "sata", "compaction"
-            )
-            bw = comp_bytes / result.elapsed_s
-            sata_dev = runner.store.devices()["sata"]
-            frac = bw / (sata_dev.profile.write_bandwidth + sata_dev.profile.read_bandwidth)
-            rows_a.append((store_name, t, mb(bw), frac * 100))
-            raw["bandwidth"][(store_name, t)] = bw
-            if t == threads[-1]:
-                tree = getattr(runner.store, "tree", None)
-                if tree is not None:
-                    per_level = dict(tree.compactor.stats.write_bytes_by_level)
-                    per_level_rd = dict(tree.compactor.stats.read_bytes_by_level)
-                    raw["levels"][store_name] = {
-                        lvl: per_level.get(lvl, 0) + per_level_rd.get(lvl, 0)
-                        for lvl in set(per_level) | set(per_level_rd)
-                    }
+    for (store_name, t), cell in zip(grid, cells):
+        rows_a.append((store_name, t, mb(cell["bw"]), cell["frac"] * 100))
+        raw["bandwidth"][(store_name, t)] = cell["bw"]
+        if t == threads[-1] and cell["levels"] is not None:
+            raw["levels"][store_name] = cell["levels"]
     rows_b = []
     for store_name, levels in raw["levels"].items():
         total = sum(levels.values()) or 1
@@ -130,7 +220,7 @@ def fig3_compaction_overhead(scale: Optional[BenchScale] = None, threads=(1, 2, 
 # -------------------------------------------------------------------- Fig 6a
 
 def fig6a_interval_correlation(
-    n_keys: int = 2000, accesses: int = 100_000, seed: int = 3
+    n_keys: int = 2000, accesses: int = 100_000, seed: int = 3, workers: int = 1
 ):
     """Fig. 6a: P(next interval < t | s past intervals < t) on an 80/20
     trace, for t in {5%, 10%, 20%} of the workload and s in {1, 3, 5}."""
@@ -140,19 +230,24 @@ def fig6a_interval_correlation(
     hot_keys = rng.integers(0, hot, size=accesses)
     cold_keys = rng.integers(hot, n_keys, size=accesses)
     trace = np.where(choose_hot, hot_keys, cold_keys).tolist()
+    grid = [(t_frac, s) for t_frac in (0.05, 0.10, 0.20) for s in (1, 3, 5)]
+    jobs = [
+        Job(
+            _fig6a_cell,
+            args=(trace, int(t_frac * accesses), s),
+            label=f"fig6a:t{t_frac:.0%}:s{s}",
+        )
+        for t_frac, s in grid
+    ]
+    cells = _run_cells("fig6a", jobs, workers)
     rows = []
     raw = {}
-    for t_frac in (0.05, 0.10, 0.20):
-        t = int(t_frac * accesses)
-        for s in (1, 3, 5):
-            summary = probability_summary(
-                interval_conditional_probabilities(trace, threshold=t, history=s)
-            )
-            rows.append(
-                (f"{t_frac:.0%}", s, summary["median"], summary["p25"],
-                 summary["p75"], int(summary["objects"]))
-            )
-            raw[(t_frac, s)] = summary
+    for (t_frac, s), summary in zip(grid, cells):
+        rows.append(
+            (f"{t_frac:.0%}", s, summary["median"], summary["p25"],
+             summary["p75"], int(summary["objects"]))
+        )
+        raw[(t_frac, s)] = summary
     return {
         "title": "Fig 6a: interval conditional probability, 80/20 trace",
         "headers": ["t (of workload)", "s", "median", "p25", "p75", "objects"],
@@ -167,28 +262,39 @@ def fig8_ycsb(
     scale: Optional[BenchScale] = None,
     stores=("rocksdb", "rocksdb-sc", "prismdb", "hyperdb"),
     workloads=("A", "B", "C", "D", "E", "F"),
+    workers: int = 1,
 ):
     """Fig. 8: YCSB A–F throughput, median latency, and P99 latency for all
     four engines (zipfian 0.99, 8B keys / 128B values)."""
     scale = scale or BenchScale.default()
-    rows = []
-    raw = {}
+    grid = []
+    jobs = []
     for wl_name in workloads:
         spec = YCSB_WORKLOADS[wl_name]
         ops = scale.operations if spec.scan == 0 else max(500, scale.operations // 20)
         for store_name in stores:
-            runner = _loaded_runner(store_name, scale)
-            result = runner.run(spec, ops)
-            rows.append(
-                (
-                    wl_name,
-                    store_name,
-                    kops(result.throughput_ops),
-                    result.median_latency() * 1e6,
-                    result.p99_latency() * 1e6,
+            grid.append((wl_name, store_name))
+            jobs.append(
+                Job(
+                    _workload_cell,
+                    args=(store_name, scale, spec, ops),
+                    label=f"fig8:{wl_name}:{store_name}",
                 )
             )
-            raw[(wl_name, store_name)] = result
+    cells = _run_cells("fig8", jobs, workers)
+    rows = []
+    raw = {}
+    for (wl_name, store_name), result in zip(grid, cells):
+        rows.append(
+            (
+                wl_name,
+                store_name,
+                kops(result.throughput_ops),
+                result.median_latency() * 1e6,
+                result.p99_latency() * 1e6,
+            )
+        )
+        raw[(wl_name, store_name)] = result
     return {
         "title": "Fig 8: YCSB throughput (kops/s), median and P99 latency (us)",
         "headers": ["workload", "store", "kops/s", "median us", "p99 us"],
@@ -203,21 +309,32 @@ def fig9a_skew_sweep(
     scale: Optional[BenchScale] = None,
     stores=("rocksdb", "prismdb", "hyperdb"),
     thetas=("uniform", 0.6, 0.8, 0.99, 1.2),
+    workers: int = 1,
 ):
     """Fig. 9a: YCSB-A throughput across request-skew settings."""
     scale = scale or BenchScale.default()
-    rows = []
-    raw = {}
+    grid = []
+    jobs = []
     for theta in thetas:
         if theta == "uniform":
             spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
         else:
             spec = YCSB_WORKLOADS["A"].with_distribution("zipfian", theta=theta)
         for store_name in stores:
-            runner = _loaded_runner(store_name, scale)
-            result = runner.run(spec, scale.operations)
-            rows.append((str(theta), store_name, kops(result.throughput_ops)))
-            raw[(theta, store_name)] = result
+            grid.append((theta, store_name))
+            jobs.append(
+                Job(
+                    _workload_cell,
+                    args=(store_name, scale, spec, scale.operations),
+                    label=f"fig9a:{theta}:{store_name}",
+                )
+            )
+    cells = _run_cells("fig9a", jobs, workers)
+    rows = []
+    raw = {}
+    for (theta, store_name), result in zip(grid, cells):
+        rows.append((str(theta), store_name, kops(result.throughput_ops)))
+        raw[(theta, store_name)] = result
     return {
         "title": "Fig 9a: YCSB-A throughput (kops/s) vs skew",
         "headers": ["skew", "store", "kops/s"],
@@ -230,13 +347,14 @@ def fig9b_value_size_sweep(
     scale: Optional[BenchScale] = None,
     stores=("rocksdb", "prismdb", "hyperdb"),
     value_sizes=(16, 64, 128, 512, 1024, 4096),
+    workers: int = 1,
 ):
     """Fig. 9b: YCSB-A throughput across value sizes.  The dataset byte
     volume is held fixed (the paper holds the loaded volume constant), so
     record counts shrink as values grow."""
     base = scale or BenchScale.default()
-    rows = []
-    raw = {}
+    grid = []
+    jobs = []
     for vs in value_sizes:
         point = BenchScale.default(
             value_size=vs,
@@ -245,10 +363,20 @@ def fig9b_value_size_sweep(
             nvme_ratio=base.nvme_ratio,
         )
         for store_name in stores:
-            runner = _loaded_runner(store_name, point)
-            result = runner.run(YCSB_WORKLOADS["A"], point.operations)
-            rows.append((vs, store_name, kops(result.throughput_ops)))
-            raw[(vs, store_name)] = result
+            grid.append((vs, store_name))
+            jobs.append(
+                Job(
+                    _workload_cell,
+                    args=(store_name, point, YCSB_WORKLOADS["A"], point.operations),
+                    label=f"fig9b:{vs}B:{store_name}",
+                )
+            )
+    cells = _run_cells("fig9b", jobs, workers)
+    rows = []
+    raw = {}
+    for (vs, store_name), result in zip(grid, cells):
+        rows.append((vs, store_name, kops(result.throughput_ops)))
+        raw[(vs, store_name)] = result
     return {
         "title": "Fig 9b: YCSB-A throughput (kops/s) vs value size",
         "headers": ["value B", "store", "kops/s"],
@@ -261,6 +389,7 @@ def fig9c_nvme_ratio_sweep(
     scale: Optional[BenchScale] = None,
     stores=("rocksdb", "prismdb", "hyperdb"),
     ratios=(0.05, 0.1, 0.2, 0.4, 0.8),
+    workers: int = 1,
 ):
     """Fig. 9c: YCSB-A throughput vs NVMe:dataset capacity ratio.
 
@@ -273,8 +402,8 @@ def fig9c_nvme_ratio_sweep(
     # A larger dataset keeps even the smallest ratio above the device's
     # minimum useful size.
     base = scale or BenchScale.default(record_count=80_000)
-    rows = []
-    raw = {}
+    grid = []
+    jobs = []
     for ratio in ratios:
         point = BenchScale.default(
             record_count=base.record_count,
@@ -283,10 +412,20 @@ def fig9c_nvme_ratio_sweep(
             nvme_ratio=ratio,
         )
         for store_name in stores:
-            runner = _loaded_runner(store_name, point)
-            result = runner.run(YCSB_WORKLOADS["A"], point.operations)
-            rows.append((f"{ratio:.0%}", store_name, kops(result.throughput_ops)))
-            raw[(ratio, store_name)] = result
+            grid.append((ratio, store_name))
+            jobs.append(
+                Job(
+                    _workload_cell,
+                    args=(store_name, point, YCSB_WORKLOADS["A"], point.operations),
+                    label=f"fig9c:{ratio:.0%}:{store_name}",
+                )
+            )
+    cells = _run_cells("fig9c", jobs, workers)
+    rows = []
+    raw = {}
+    for (ratio, store_name), result in zip(grid, cells):
+        rows.append((f"{ratio:.0%}", store_name, kops(result.throughput_ops)))
+        raw[(ratio, store_name)] = result
     return {
         "title": "Fig 9c: YCSB-A throughput (kops/s) vs NVMe capacity ratio",
         "headers": ["nvme ratio", "store", "kops/s"],
@@ -301,30 +440,41 @@ def fig10_latency_breakdown(
     scale: Optional[BenchScale] = None,
     stores=("rocksdb", "hyperdb"),
     thetas=("uniform", 0.8, 0.99),
+    workers: int = 1,
 ):
     """Fig. 10: read/write median and P99 latency across skew settings."""
     scale = scale or BenchScale.default()
-    rows = []
-    raw = {}
+    grid = []
+    jobs = []
     for theta in thetas:
         if theta == "uniform":
             spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
         else:
             spec = YCSB_WORKLOADS["A"].with_distribution("zipfian", theta=theta)
         for store_name in stores:
-            runner = _loaded_runner(store_name, scale)
-            result = runner.run(spec, scale.operations)
-            rows.append(
-                (
-                    str(theta),
-                    store_name,
-                    result.median_latency("read") * 1e6,
-                    result.p99_latency("read") * 1e6,
-                    result.median_latency("update") * 1e6,
-                    result.p99_latency("update") * 1e6,
+            grid.append((theta, store_name))
+            jobs.append(
+                Job(
+                    _workload_cell,
+                    args=(store_name, scale, spec, scale.operations),
+                    label=f"fig10:{theta}:{store_name}",
                 )
             )
-            raw[(theta, store_name)] = result
+    cells = _run_cells("fig10", jobs, workers)
+    rows = []
+    raw = {}
+    for (theta, store_name), result in zip(grid, cells):
+        rows.append(
+            (
+                str(theta),
+                store_name,
+                result.median_latency("read") * 1e6,
+                result.p99_latency("read") * 1e6,
+                result.median_latency("update") * 1e6,
+                result.p99_latency("update") * 1e6,
+            )
+        )
+        raw[(theta, store_name)] = result
     return {
         "title": "Fig 10: read/write latency (us) vs skew",
         "headers": ["skew", "store", "rd med", "rd p99", "wr med", "wr p99"],
@@ -338,6 +488,7 @@ def fig10_latency_breakdown(
 def fig11_background_traffic(
     scale: Optional[BenchScale] = None,
     stores=("rocksdb", "rocksdb-sc", "prismdb", "hyperdb"),
+    workers: int = 1,
 ):
     """Fig. 11: total write I/O per tier and space usage, uniform YCSB-A
     with 1 KB values (the paper's background-traffic headline: HyperDB
@@ -349,11 +500,18 @@ def fig11_background_traffic(
         value_size=1024, record_count=6000, nvme_ratio=0.8
     )
     spec = YCSB_WORKLOADS["A"].with_distribution("uniform")
+    jobs = [
+        Job(
+            _workload_cell,
+            args=(store_name, scale, spec, scale.operations),
+            label=f"fig11:{store_name}",
+        )
+        for store_name in stores
+    ]
+    cells = _run_cells("fig11", jobs, workers)
     rows = []
     raw = {}
-    for store_name in stores:
-        runner = _loaded_runner(store_name, scale)
-        result = runner.run(spec, scale.operations)
+    for store_name, result in zip(stores, cells):
         nvme_w = result.write_bytes("nvme")
         sata_w = result.write_bytes("sata")
         rows.append(
@@ -377,7 +535,7 @@ def fig11_background_traffic(
 
 # ----------------------------------------------------------------- Ablations
 
-def ablations(scale: Optional[BenchScale] = None):
+def ablations(scale: Optional[BenchScale] = None, workers: int = 1):
     """Design-choice ablations (§3): hot zone, preemptive compaction depth,
     T_clean, and power-of-k victim sampling, measured on skewed YCSB-A with
     a constrained NVMe tier (the knobs only engage under migration and
@@ -391,28 +549,22 @@ def ablations(scale: Optional[BenchScale] = None):
         "t_clean=0.9": {"t_clean": 0.9},
         "candidate_k=1": {"candidate_k": 1},
     }
+    jobs = [
+        Job(_ablation_cell, args=(overrides, scale), label=f"ablations:{label}")
+        for label, overrides in variants.items()
+    ]
+    cells = _run_cells("ablations", jobs, workers)
     rows = []
     raw = {}
-    for label, overrides in variants.items():
-        store = build_store("hyperdb", scale, **overrides)
-        runner = WorkloadRunner(
-            store,
-            record_count=scale.record_count,
-            value_size=scale.value_size,
-            clients=scale.clients,
-            background_threads=scale.background_threads,
-            seed=scale.seed,
-        )
-        runner.load()
-        result = runner.run(YCSB_WORKLOADS["A"], scale.operations)
-        total_w = result.write_bytes("nvme") + result.write_bytes("sata")
+    for label, cell in zip(variants, cells):
+        result = cell["result"]
         rows.append(
             (
                 label,
                 kops(result.throughput_ops),
                 result.p99_latency() * 1e6,
-                mb(total_w),
-                store.capacity_tier.space_amplification(),
+                mb(result.write_bytes("nvme") + result.write_bytes("sata")),
+                cell["space_amp"],
             )
         )
         raw[label] = result

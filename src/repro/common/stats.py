@@ -50,7 +50,14 @@ class LatencyHistogram:
         self._n += 1
 
     def record_many(self, latencies: Iterable[float]) -> None:
-        arr = np.asarray(list(latencies), dtype=np.float64)
+        if isinstance(latencies, np.ndarray):
+            # Take a private copy: callers (merge, the parallel reducers)
+            # hand in live views of other histograms' buffers, and growing
+            # or writing self._buf must never alias or disturb them — this
+            # also makes h.merge(h) well-defined.
+            arr = latencies.astype(np.float64, copy=True).ravel()
+        else:
+            arr = np.asarray(list(latencies), dtype=np.float64)
         need = self._n + len(arr)
         while need > len(self._buf):
             self._buf = np.concatenate([self._buf, np.empty_like(self._buf)])
@@ -88,7 +95,14 @@ class LatencyHistogram:
         return float(self._buf[: self._n].mean())
 
     def merge(self, other: "LatencyHistogram") -> None:
+        """Append ``other``'s samples; ``other`` is never mutated or aliased."""
         self.record_many(other.samples())
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent histogram holding the same samples."""
+        dup = LatencyHistogram(initial_capacity=max(16, self._n))
+        dup.record_many(self.samples())
+        return dup
 
     def reset(self) -> None:
         self._n = 0

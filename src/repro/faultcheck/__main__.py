@@ -10,12 +10,19 @@ Quick check with fewer points::
 
     PYTHONPATH=src python -m repro.faultcheck --lsm-points 4 --hyperdb-points 4
 
+Fan the crash matrices across worker processes (reports are identical at
+every worker count — CI asserts the digest matches the serial run)::
+
+    PYTHONPATH=src python -m repro.faultcheck --workers 4 --digest
+
 Exit status is non-zero when any crash point or absorption check fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 
 from repro.faultcheck.harness import (
@@ -23,6 +30,7 @@ from repro.faultcheck.harness import (
     run_lsm_crash_matrix,
     run_transient_absorption,
 )
+from repro.parallel import host_metadata
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,10 +65,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the crash matrices",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the crash-point fan-out (1 = serial "
+        "in-process, 0 = one per core; reports are identical at any count)",
+    )
+    parser.add_argument(
+        "--digest", action="store_true",
+        help="print 'DIGEST <sha256>' over all report summaries, for "
+        "serial/parallel equivalence checks",
+    )
+    parser.add_argument(
+        "--timing-out", metavar="FILE", default=None,
+        help="write per-crash-point timings + host metadata as JSON",
+    )
     args = parser.parse_args(argv)
 
     failed = False
     reports = []
+    summaries: list[str] = []
     if args.lsm_points > 0:
         reports.append(
             run_lsm_crash_matrix(
@@ -68,16 +91,20 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 num_ops=args.ops,
                 two_tier=True,
+                workers=args.workers,
             )
         )
     if args.hyperdb_points > 0:
         reports.append(
             run_hyperdb_crash_matrix(
-                num_points=args.hyperdb_points, seed=args.seed
+                num_points=args.hyperdb_points,
+                seed=args.seed,
+                workers=args.workers,
             )
         )
     for report in reports:
-        print(report.summary())
+        summaries.append(report.summary())
+        print(summaries[-1])
         failed |= not report.passed
 
     if not args.skip_transient:
@@ -88,11 +115,36 @@ def main(argv: list[str] | None = None) -> int:
                 num_ops=args.ops,
                 error_rate=args.error_rate,
             )
-            print(t.summary())
+            summaries.append(t.summary())
+            print(summaries[-1])
             failed |= not t.passed
 
     total_points = sum(len(r.results) for r in reports)
     print(f"crash points exercised: {total_points}")
+    if args.digest:
+        digest = hashlib.sha256("\n".join(summaries).encode()).hexdigest()
+        print(f"DIGEST {digest}")
+    if args.timing_out:
+        doc = {
+            "host": host_metadata(workers=args.workers),
+            "matrices": [
+                {
+                    "engine": r.engine,
+                    "points": [
+                        {
+                            "crash_after_write_io": p.crash_after_write_io,
+                            "seconds": round(s, 6),
+                            "ok": p.ok,
+                        }
+                        for p, s in zip(r.results, r.point_seconds)
+                    ],
+                }
+                for r in reports
+            ],
+        }
+        with open(args.timing_out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
     return 1 if failed else 0
 
 

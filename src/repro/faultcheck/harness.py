@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.common.errors import PowerLossError, TransientIOError
+from repro.parallel import Job, run_jobs
+from repro.parallel.pool import unwrap_all
 from repro.common.keys import KeyRange, encode_key
 from repro.core.config import HyperDBConfig
 from repro.core.hyperdb import HyperDB
@@ -89,6 +91,9 @@ class MatrixReport:
     engine: str
     total_write_ios: int
     results: list[CrashPointResult] = field(default_factory=list)
+    #: Per-point wall-clock seconds, parallel to ``results`` (measured
+    #: inside the worker, so pool queue time is excluded).
+    point_seconds: list[float] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -229,11 +234,16 @@ def run_lsm_crash_matrix(
     num_ops: int = 240,
     two_tier: bool = True,
     on_progress: Optional[Callable[[CrashPointResult], None]] = None,
+    workers: int = 1,
 ) -> MatrixReport:
     """Crash the LSM engine at ``num_points`` sampled write-I/O ordinals.
 
     ``two_tier=True`` runs the RocksDB-like baseline configuration (levels
     spanning NVMe + SATA via db_paths, one injector for both devices).
+
+    Each crash point is fully independent (its own injector seed, its own
+    devices), so ``workers>1`` fans the points across processes via
+    :mod:`repro.parallel`; the report is identical at every worker count.
     """
     engine = "rocksdb-like" if two_tier else "lsm"
     ops = _lsm_ops(seed, num_ops)
@@ -248,8 +258,17 @@ def run_lsm_crash_matrix(
 
     rng = random.Random(seed ^ 0x5AFE)
     points = sorted(rng.sample(range(1, total + 1), min(num_points, total)))
-    for point in points:
-        result = _run_lsm_crash_point(ops, point, seed, two_tier, engine)
+    jobs = [
+        Job(
+            _run_lsm_crash_point,
+            args=(ops, point, seed, two_tier, engine),
+            label=f"{engine}:crash@{point}",
+        )
+        for point in points
+    ]
+    outcomes = run_jobs(jobs, workers=workers)
+    report.point_seconds = [r.seconds for r in outcomes]
+    for result in unwrap_all(outcomes):
         report.results.append(result)
         if on_progress is not None:
             on_progress(result)
@@ -361,6 +380,7 @@ def run_hyperdb_crash_matrix(
     w1_ops: int = 260,
     w2_ops: int = 60,
     on_progress: Optional[Callable[[CrashPointResult], None]] = None,
+    workers: int = 1,
 ) -> MatrixReport:
     """Crash HyperDB at sampled points *after* its index checkpoint.
 
@@ -389,8 +409,17 @@ def run_hyperdb_crash_matrix(
     rng = random.Random(seed ^ 0xC4A5)
     span = range(ckpt_io + 1, total + 1)
     points = sorted(rng.sample(span, min(num_points, len(span))))
-    for point in points:
-        result = _run_hyperdb_crash_point(w1, w2, point, seed)
+    jobs = [
+        Job(
+            _run_hyperdb_crash_point,
+            args=(w1, w2, point, seed),
+            label=f"hyperdb:crash@{point}",
+        )
+        for point in points
+    ]
+    outcomes = run_jobs(jobs, workers=workers)
+    report.point_seconds = [r.seconds for r in outcomes]
+    for result in unwrap_all(outcomes):
         report.results.append(result)
         if on_progress is not None:
             on_progress(result)

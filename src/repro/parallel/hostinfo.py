@@ -1,0 +1,35 @@
+"""Host-shape metadata for timing records.
+
+Wall-clock numbers only compare meaningfully within one "host shape":
+same core count, same architecture, same worker count.  The perf
+trajectory stamps every run with this metadata and skips speedup
+computation when the baseline's shape differs.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Optional
+
+
+def host_metadata(workers: int = 1) -> dict:
+    """CPU / python / worker-count facts to record next to timings."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "workers": workers,
+    }
+
+
+def same_host_shape(a: Optional[dict], b: Optional[dict]) -> bool:
+    """Whether two runs' timings are comparable.
+
+    Entries recorded before host metadata existed (``None``) are treated
+    as same-shape: they came from the single-host serial-only era, and
+    refusing to compare would orphan the whole existing trajectory.
+    """
+    if a is None or b is None:
+        return True
+    return all(a.get(k) == b.get(k) for k in ("cpu_count", "machine", "workers"))

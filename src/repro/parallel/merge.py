@@ -1,0 +1,105 @@
+"""Exact reducers for sharded harness results.
+
+A sharded run produces K partial results; these mergers fold them back
+into the aggregate a single unsharded run would have produced.  All
+reductions are plain sums / concatenations applied in shard order, so a
+given shard list always reduces to the same bytes — the pool's ordered
+collection plus these mergers is what makes ``--workers N`` output
+digest-identical to ``--workers 1``.
+
+None of the mergers mutate their inputs: histograms are merged into
+fresh :class:`LatencyHistogram` objects (``merge`` copies samples), and
+traffic deltas into fresh dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.common.stats import LatencyHistogram
+from repro.ycsb.runner import RunResult, _busy_seconds
+
+
+def merge_traffic_deltas(
+    deltas: Sequence[Dict[str, Dict[str, Dict[str, float]]]],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Field-wise sum of per-device, per-lane traffic snapshots.
+
+    Accepts the ``device -> lane -> field -> value`` dict shape that
+    :meth:`TrafficStats.snapshot` and :class:`RunResult.traffic` use.
+    Devices/lanes missing from some shards contribute zero.
+    """
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for delta in deltas:
+        for device, lanes in delta.items():
+            dev = out.setdefault(device, {})
+            for lane, fields in lanes.items():
+                tgt = dev.setdefault(lane, dict.fromkeys(fields, 0))
+                for name, value in fields.items():
+                    tgt[name] = tgt.get(name, 0) + value
+    return out
+
+
+def merge_latency_maps(
+    maps: Sequence[Dict[str, LatencyHistogram]],
+) -> Dict[str, LatencyHistogram]:
+    """Merge per-op histogram maps into fresh histograms (inputs untouched)."""
+    out: Dict[str, LatencyHistogram] = {}
+    for latency_map in maps:
+        for op, hist in latency_map.items():
+            tgt = out.get(op)
+            if tgt is None:
+                tgt = out[op] = LatencyHistogram(
+                    initial_capacity=max(16, hist.count)
+                )
+            tgt.merge(hist)
+    return out
+
+
+def merge_run_results(shards: Sequence[RunResult]) -> RunResult:
+    """Fold K concurrent shards of one logical workload into one result.
+
+    Semantics: the shards ran *in parallel* against disjoint slices of
+    the work (each with its own devices), so
+
+    * ``operations``, ``clients``, ``background_threads``, traffic bytes
+      and space are summed;
+    * ``elapsed_s`` is the slowest shard (the run finishes when the last
+      shard does) and throughput is total ops over that;
+    * latency histograms are concatenated (every op keeps its sample);
+    * per-device utilization is recomputed from merged busy time over the
+      merged elapsed.
+    """
+    if not shards:
+        raise ValueError("merge_run_results needs at least one shard")
+    first = shards[0]
+    for other in shards[1:]:
+        if other.workload_name != first.workload_name:
+            raise ValueError(
+                "cannot merge results from different workloads: "
+                f"{first.workload_name!r} vs {other.workload_name!r}"
+            )
+    traffic = merge_traffic_deltas([s.traffic for s in shards])
+    elapsed = max(s.elapsed_s for s in shards)
+    operations = sum(s.operations for s in shards)
+    space: Dict[str, int] = {}
+    for s in shards:
+        for device, used in s.space_used.items():
+            space[device] = space.get(device, 0) + used
+    utilization = {
+        device: min(1.0, _busy_seconds(lanes) / elapsed) if elapsed > 0 else 0.0
+        for device, lanes in traffic.items()
+    }
+    return RunResult(
+        store_name=first.store_name,
+        workload_name=first.workload_name,
+        operations=operations,
+        clients=sum(s.clients for s in shards),
+        background_threads=sum(s.background_threads for s in shards),
+        elapsed_s=elapsed,
+        throughput_ops=operations / elapsed if elapsed > 0 else 0.0,
+        latency_by_op=merge_latency_maps([s.latency_by_op for s in shards]),
+        traffic=traffic,
+        utilization=utilization,
+        space_used=space,
+    )

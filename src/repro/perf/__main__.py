@@ -38,19 +38,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-save", action="store_true", help="print results without recording"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes: fans independent benches across a pool and "
+        "sets the parallel_e2e fan-out width (1 = serial, 0 = one per core)",
+    )
     args = parser.parse_args(argv)
 
     scale = PerfScale.smoke() if args.smoke else PerfScale.full()
-    results = run_benches(scale, only=args.bench)
+    results = run_benches(scale, only=args.bench, workers=args.workers)
     run = None
     if not args.no_save:
-        run = record_run(args.out, args.label, scale, results)
-    print(f"repro.perf [{scale.mode}] label={args.label}")
+        run = record_run(args.out, args.label, scale, results, workers=args.workers)
+    print(f"repro.perf [{scale.mode}] label={args.label} workers={args.workers}")
     print(format_table(results, run))
+    if "parallel_e2e" in results and results["parallel_e2e"].extra:
+        extra = results["parallel_e2e"].extra
+        print(
+            f"parallel_e2e: {extra['cells']} cells, {extra['workers']} workers, "
+            f"fan-out speedup {extra['fanout_speedup']:.2f}x "
+            f"(merge identical: {extra['merge_identical']})"
+        )
     if run and "speedup_vs_baseline" in run:
         headline = run["speedup_vs_baseline"].get("ycsb_e2e")
         if headline is not None:
             print(f"headline (ycsb_e2e) speedup vs baseline: {headline:.2f}x")
+    if run and "speedup_skipped" in run:
+        print(f"speedup vs baseline skipped: {run['speedup_skipped']}")
     return 0
 
 

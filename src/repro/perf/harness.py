@@ -22,6 +22,15 @@ from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.parallel import (
+    Job,
+    host_metadata,
+    merge_run_results,
+    run_jobs,
+    same_host_shape,
+)
+from repro.parallel.pool import unwrap_all
+
 from repro.common.bloom import BloomFilter
 from repro.common.cache import LRUCache
 from repro.common.keys import encode_key
@@ -51,6 +60,10 @@ class PerfScale:
     e2e_records: int
     e2e_operations: int
     mode: str = "full"
+    #: parallel_e2e fan-out shape: independent YCSB cells per measurement.
+    par_cells: int = 4
+    par_records: int = 1_000
+    par_operations: int = 1_000
 
     @classmethod
     def full(cls) -> "PerfScale":
@@ -65,6 +78,9 @@ class PerfScale:
             e2e_records=8_000,
             e2e_operations=8_000,
             mode="full",
+            par_cells=4,
+            par_records=2_000,
+            par_operations=2_000,
         )
 
     @classmethod
@@ -80,6 +96,9 @@ class PerfScale:
             e2e_records=1_200,
             e2e_operations=1_200,
             mode="smoke",
+            par_cells=3,
+            par_records=500,
+            par_operations=500,
         )
 
 
@@ -89,17 +108,23 @@ class BenchResult:
 
     ops: int
     seconds: float
+    #: Optional bench-specific facts (the parallel_e2e bench records its
+    #: fan-out shape and measured speedup here).
+    extra: Optional[dict] = None
 
     @property
     def kops_per_s(self) -> float:
         return self.ops / self.seconds / 1e3 if self.seconds > 0 else 0.0
 
     def to_json(self) -> dict:
-        return {
+        doc = {
             "ops": self.ops,
             "seconds": round(self.seconds, 6),
             "kops_per_s": round(self.kops_per_s, 3),
         }
+        if self.extra:
+            doc["extra"] = self.extra
+        return doc
 
 
 def _draw_many(gen, n: int) -> list[int]:
@@ -230,6 +255,87 @@ def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
     return BenchResult(scale.e2e_records + scale.e2e_operations, seconds)
 
 
+def _parallel_e2e_cell(records: int, operations: int, seed: int):
+    """One independent fig8-style cell: load HyperDB, run YCSB-B, return
+    the :class:`RunResult` (the fan-out unit of :func:`bench_parallel_e2e`)."""
+    from repro.bench.context import BenchScale, build_store
+
+    bscale = BenchScale(record_count=records, operations=operations, seed=seed)
+    store = build_store("hyperdb", bscale)
+    runner = WorkloadRunner(
+        store,
+        record_count=bscale.record_count,
+        value_size=bscale.value_size,
+        clients=bscale.clients,
+        background_threads=bscale.background_threads,
+        seed=bscale.seed,
+    )
+    runner.load()
+    return runner.run(YCSB_WORKLOADS["B"], bscale.operations)
+
+
+def _run_results_identical(a_list, b_list) -> bool:
+    """Shard-wise exact equality of two RunResult lists (merge soundness)."""
+    if len(a_list) != len(b_list):
+        return False
+    for a, b in zip(a_list, b_list):
+        if (a.operations, a.elapsed_s, a.traffic, a.space_used) != (
+            b.operations, b.elapsed_s, b.traffic, b.space_used
+        ):
+            return False
+        if set(a.latency_by_op) != set(b.latency_by_op):
+            return False
+        for op, hist in a.latency_by_op.items():
+            if not np.array_equal(hist.samples(), b.latency_by_op[op].samples()):
+                return False
+    return True
+
+
+def bench_parallel_e2e(scale: PerfScale, workers: int = 1) -> BenchResult:
+    """Fan-out speedup of the evaluation substrate itself.
+
+    Runs ``par_cells`` independent YCSB cells twice — once serially
+    in-process, once through the process pool at the requested worker
+    count — verifies the two shard sets (and their exact merge) are
+    identical, and reports the measured fan-out speedup.  The timed
+    section is the parallel pass, so the trajectory tracks what a
+    sharded ``repro.bench`` actually costs on this host.
+    """
+    jobs = [
+        Job(
+            _parallel_e2e_cell,
+            args=(scale.par_records, scale.par_operations),
+            seed=1009 + i,
+            label=f"cell{i}",
+        )
+        for i in range(scale.par_cells)
+    ]
+    t0 = time.perf_counter()
+    serial = unwrap_all(run_jobs(jobs, workers=1))
+    serial_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = unwrap_all(run_jobs(jobs, workers=max(1, workers)))
+    parallel_seconds = time.perf_counter() - t0
+    identical = _run_results_identical(serial, parallel)
+    merged = merge_run_results(parallel)
+    ops = scale.par_cells * (scale.par_records + scale.par_operations)
+    return BenchResult(
+        ops=ops,
+        seconds=parallel_seconds,
+        extra={
+            "workers": max(1, workers),
+            "cells": scale.par_cells,
+            "serial_seconds": round(serial_seconds, 6),
+            "parallel_seconds": round(parallel_seconds, 6),
+            "fanout_speedup": round(serial_seconds / parallel_seconds, 3)
+            if parallel_seconds > 0
+            else 0.0,
+            "merge_identical": identical,
+            "merged_throughput_ops": round(merged.throughput_ops, 3),
+        },
+    )
+
+
 _BENCHES: Dict[str, Callable[[PerfScale], BenchResult]] = {
     "trace_gen": bench_trace_gen,
     "distributions": bench_distributions,
@@ -241,22 +347,52 @@ _BENCHES: Dict[str, Callable[[PerfScale], BenchResult]] = {
     "ycsb_e2e": bench_ycsb_e2e,
 }
 
+#: Benches that manage their own process pool (run in the parent even in
+#: parallel mode, so pools never nest).
+_POOLED_BENCHES: Dict[str, Callable[[PerfScale, int], BenchResult]] = {
+    "parallel_e2e": bench_parallel_e2e,
+}
+
 #: The bench whose speedup is the PR headline (acceptance: >= 1.5x).
 HEADLINE_BENCH = "ycsb_e2e"
 
 
 def bench_names() -> list[str]:
-    return list(_BENCHES)
+    return list(_BENCHES) + list(_POOLED_BENCHES)
+
+
+def _run_one_bench(name: str, scale: PerfScale) -> BenchResult:
+    """Top-level (picklable) trampoline for bench fan-out."""
+    return _BENCHES[name](scale)
 
 
 def run_benches(
-    scale: PerfScale, only: Optional[Iterable[str]] = None
+    scale: PerfScale, only: Optional[Iterable[str]] = None, workers: int = 1
 ) -> Dict[str, BenchResult]:
-    names = list(only) if only else list(_BENCHES)
-    unknown = [n for n in names if n not in _BENCHES]
+    """Run the named benches (all by default), optionally fanning the
+    independent ones across ``workers`` processes.  ``workers=1`` is the
+    exact serial path; pool-managing benches (parallel_e2e) always run in
+    the parent so pools never nest."""
+    names = list(only) if only else bench_names()
+    unknown = [n for n in names if n not in _BENCHES and n not in _POOLED_BENCHES]
     if unknown:
-        raise ValueError(f"unknown bench(es): {unknown}; have {list(_BENCHES)}")
-    return {name: _BENCHES[name](scale) for name in names}
+        raise ValueError(f"unknown bench(es): {unknown}; have {bench_names()}")
+    plain = [n for n in names if n in _BENCHES]
+    out: Dict[str, BenchResult] = {}
+    if workers > 1 and len(plain) > 1:
+        jobs = [Job(_run_one_bench, args=(n, scale), label=n) for n in plain]
+        for name, result in zip(plain, unwrap_all(run_jobs(jobs, workers=workers))):
+            out[name] = result
+    else:
+        for name in plain:
+            out[name] = _BENCHES[name](scale)
+    ordered: Dict[str, BenchResult] = {}
+    for name in names:
+        if name in _POOLED_BENCHES:
+            ordered[name] = _POOLED_BENCHES[name](scale, workers)
+        else:
+            ordered[name] = out[name]
+    return ordered
 
 
 # --------------------------------------------------------------- trajectory
@@ -280,11 +416,17 @@ def record_run(
     label: str,
     scale: PerfScale,
     results: Dict[str, BenchResult],
+    workers: int = 1,
 ) -> dict:
     """Append a labelled run to the trajectory file and recompute speedups.
 
-    Returns the run entry (with ``speedup_vs_baseline`` when a ``baseline``
-    run at the same mode exists in the file).
+    Every entry is stamped with host metadata (cpu count, machine, python
+    version, worker count) so wall-clock comparisons across machines stay
+    interpretable.  Returns the run entry (with ``speedup_vs_baseline``
+    when a ``baseline`` run at the same mode *and host shape* exists in
+    the file — timings from a different core count, architecture, or
+    worker count are not comparable, so the speedup is skipped and the
+    reason recorded instead).
     """
     path = Path(path)
     doc = {"schema": 1, "runs": []}
@@ -293,11 +435,13 @@ def record_run(
             doc = json.loads(path.read_text())
         except json.JSONDecodeError:
             pass  # corrupt trajectory: start over rather than crash the bench
+    host = host_metadata(workers=workers)
     run = {
         "label": label,
         "mode": scale.mode,
         "git": _git_rev(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": host,
         "benches": {name: r.to_json() for name, r in results.items()},
     }
     baseline = next(
@@ -309,15 +453,21 @@ def record_run(
         None,
     )
     if baseline is not None and label != "baseline":
-        speedups = {}
-        for name, res in results.items():
-            base = baseline["benches"].get(name)
-            if base and base["seconds"] > 0 and res.seconds > 0:
-                base_rate = base["ops"] / base["seconds"]
-                speedups[name] = round(res.ops / res.seconds / base_rate, 3)
-        run["speedup_vs_baseline"] = speedups
-        if HEADLINE_BENCH in speedups:
-            doc["headline_speedup"] = speedups[HEADLINE_BENCH]
+        if not same_host_shape(baseline.get("host"), host):
+            run["speedup_skipped"] = (
+                "baseline host shape differs: "
+                f"{baseline.get('host')} vs {host}"
+            )
+        else:
+            speedups = {}
+            for name, res in results.items():
+                base = baseline["benches"].get(name)
+                if base and base["seconds"] > 0 and res.seconds > 0:
+                    base_rate = base["ops"] / base["seconds"]
+                    speedups[name] = round(res.ops / res.seconds / base_rate, 3)
+            run["speedup_vs_baseline"] = speedups
+            if HEADLINE_BENCH in speedups:
+                doc["headline_speedup"] = speedups[HEADLINE_BENCH]
     doc.setdefault("runs", []).append(run)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=2) + "\n")

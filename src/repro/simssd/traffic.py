@@ -87,6 +87,27 @@ class TrafficStats:
         lane.write_transfer_s += transfer_s
         self._busy_s += latency_s + transfer_s
 
+    def merge(self, other: "TrafficStats") -> None:
+        """Fold another ledger into this one, lane-wise.
+
+        This is the exact reducer for sharded runs: every field is a plain
+        sum, so merging K shard ledgers (in any grouping — the operation is
+        associative and commutative up to float association, and exact for
+        the integer byte/IO fields) equals the ledger a single unsharded
+        run over the same I/Os would hold.  ``other`` is not modified.
+        """
+        for kind, src in other.lanes.items():
+            lane = self.lanes[kind]
+            lane.read_bytes += src.read_bytes
+            lane.write_bytes += src.write_bytes
+            lane.read_ios += src.read_ios
+            lane.write_ios += src.write_ios
+            lane.read_latency_s += src.read_latency_s
+            lane.read_transfer_s += src.read_transfer_s
+            lane.write_latency_s += src.write_latency_s
+            lane.write_transfer_s += src.write_transfer_s
+        self._busy_s += other._busy_s
+
     # ----------------------------------------------------------- aggregates
 
     def _select(self, kind: TrafficKind | None) -> list[_Lane]:

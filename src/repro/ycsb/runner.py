@@ -67,7 +67,18 @@ class RunResult:
 
     @property
     def overall_latency(self) -> LatencyHistogram:
-        merged = LatencyHistogram()
+        """All ops' samples combined, as a fresh histogram.
+
+        The combine path must neither mutate nor alias the per-op
+        histograms: this property doubles as the reducer for sharded
+        runs (``repro.parallel.merge``), where the sources stay live
+        and are merged repeatedly.  ``merge`` copies samples into the
+        new histogram's own buffer, so writes to the returned histogram
+        can never reach ``latency_by_op`` (regression-tested in
+        tests/test_parallel_merge.py).
+        """
+        total = sum(h.count for h in self.latency_by_op.values())
+        merged = LatencyHistogram(initial_capacity=max(16, total))
         for hist in self.latency_by_op.values():
             merged.merge(hist)
         return merged

@@ -39,3 +39,9 @@ class TestFig6aUnit:
         for summary in result["raw"].values():
             assert 0.0 <= summary["median"] <= 1.0
             assert summary["p25"] <= summary["p75"] + 1e-12
+
+    def test_parallel_workers_identical_to_serial(self):
+        serial = fig6a_interval_correlation(n_keys=200, accesses=5000, workers=1)
+        fanned = fig6a_interval_correlation(n_keys=200, accesses=5000, workers=2)
+        assert serial["rows"] == fanned["rows"]
+        assert serial["raw"] == fanned["raw"]

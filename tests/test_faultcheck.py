@@ -39,6 +39,13 @@ class TestLSMCrashMatrix:
             r.recovered_prefix for r in b.results
         ]
 
+    def test_parallel_workers_identical_to_serial(self):
+        serial = run_lsm_crash_matrix(num_points=3, seed=3, num_ops=120, workers=1)
+        fanned = run_lsm_crash_matrix(num_points=3, seed=3, num_ops=120, workers=2)
+        assert serial.summary() == fanned.summary()
+        assert len(fanned.point_seconds) == len(fanned.results) == 3
+        assert all(s >= 0 for s in fanned.point_seconds)
+
 
 class TestHyperDBCrashMatrix:
     def test_checkpointed_state_survives(self):

@@ -25,6 +25,9 @@ TINY = PerfScale(
     e2e_records=150,
     e2e_operations=150,
     mode="smoke",
+    par_cells=2,
+    par_records=120,
+    par_operations=120,
 )
 
 
@@ -85,3 +88,60 @@ class TestRecordRun:
         out = format_table(results)
         assert "lru_churn" in out
         assert "2.0" in out  # 1000 ops / 0.5 s = 2.0 kops/s
+
+    def test_host_metadata_recorded(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        run = record_run(
+            path, "baseline", TINY, {"lru_churn": BenchResult(10, 0.1)}, workers=3
+        )
+        host = run["host"]
+        assert host["workers"] == 3
+        assert host["cpu_count"] >= 1
+        assert host["machine"] and host["python"]
+        doc = json.loads(path.read_text())
+        assert doc["runs"][0]["host"] == host
+
+    def test_speedup_skipped_across_host_shapes(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        res = {"lru_churn": BenchResult(1000, 1.0)}
+        record_run(path, "baseline", TINY, res, workers=1)
+        run = record_run(path, "current", TINY, res, workers=4)
+        assert "speedup_vs_baseline" not in run
+        assert "differs" in run["speedup_skipped"]
+
+    def test_legacy_baseline_without_host_still_compares(self, tmp_path):
+        # Entries written before host metadata existed must keep the
+        # trajectory comparable (they all came from one serial-era host).
+        path = tmp_path / "BENCH_perf.json"
+        doc = {
+            "schema": 1,
+            "runs": [{
+                "label": "baseline", "mode": "smoke",
+                "benches": {"lru_churn": {"ops": 1000, "seconds": 2.0}},
+            }],
+        }
+        path.write_text(json.dumps(doc))
+        run = record_run(
+            path, "current", TINY, {"lru_churn": BenchResult(1000, 1.0)}, workers=1
+        )
+        assert run["speedup_vs_baseline"]["lru_churn"] == 2.0
+
+
+class TestParallelMode:
+    def test_run_benches_parallel_matches_names(self):
+        results = run_benches(TINY, only=["bloom", "lru_churn"], workers=2)
+        assert list(results) == ["bloom", "lru_churn"]
+        for r in results.values():
+            assert r.ops > 0
+
+    def test_parallel_e2e_speedup_and_merge(self):
+        from repro.perf.harness import bench_parallel_e2e
+
+        r = bench_parallel_e2e(TINY, workers=2)
+        extra = r.extra
+        assert extra["cells"] == 2 and extra["workers"] == 2
+        assert extra["merge_identical"] is True
+        assert extra["fanout_speedup"] > 0
+        assert extra["serial_seconds"] > 0 and extra["parallel_seconds"] > 0
+        assert r.ops == 2 * (120 + 120)
+        assert "extra" in r.to_json()
