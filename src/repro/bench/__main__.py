@@ -23,6 +23,7 @@ import json
 import sys
 import time
 
+from repro import obs
 from repro.bench.experiments import ALL_EXPERIMENTS, LAST_JOB_TIMINGS
 from repro.bench.reporting import format_table
 from repro.parallel import host_metadata
@@ -52,6 +53,12 @@ def main(argv: list[str] | None = None) -> int:
         "--timing-out", metavar="FILE", default=None,
         help="write per-cell job timings + host metadata as JSON",
     )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record an obs trace of the whole run and export it as JSONL "
+        "(inspect with 'python -m repro.obs summarize FILE'); tracing "
+        "never changes results or digests",
+    )
     args = parser.parse_args(argv)
 
     wanted = args.experiments or list(ALL_EXPERIMENTS)
@@ -60,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
 
+    recorder = obs.install() if args.trace_out else None
     tables: list[str] = []
     timings: dict[str, list[dict]] = {}
     for name in wanted:
@@ -74,6 +82,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name} took {time.time() - start:.1f}s]\n")
         timings[name] = timing_records(LAST_JOB_TIMINGS.get(name, []))
 
+    if recorder is not None:
+        obs.uninstall()
+        recorder.export_jsonl(args.trace_out)
+        print(
+            f"trace: {recorder.total_events} events "
+            f"({recorder.dropped} dropped) -> {args.trace_out}"
+        )
     if args.digest:
         digest = hashlib.sha256("\n\n".join(tables).encode()).hexdigest()
         print(f"DIGEST {digest}")

@@ -243,6 +243,11 @@ def fig6a_interval_correlation(
     rows = []
     raw = {}
     for (t_frac, s), summary in zip(grid, cells):
+        if summary["objects"] == 0:
+            # probability_summary signals emptiness with NaN quantiles; NaN
+            # never compares equal, which would break row/digest equality
+            # checks, so represent empty cells as None here.
+            summary = {"median": None, "p25": None, "p75": None, "objects": 0}
         rows.append(
             (f"{t_frac:.0%}", s, summary["median"], summary["p25"],
              summary["p75"], int(summary["objects"]))

@@ -127,8 +127,20 @@ class StatsRegistry:
             h = self.histograms[name] = LatencyHistogram()
         return h
 
-    def snapshot(self) -> Dict[str, int]:
-        return {name: c.value for name, c in self.counters.items()}
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict view of *all* metrics, counters and histograms.
+
+        Histograms are summarized as ``{count, median, p99}`` rather than
+        dropped, so phase reports built on snapshots keep engine-level
+        latency distributions.
+        """
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "histograms": {
+                name: {"count": h.count, "median": h.median, "p99": h.p99}
+                for name, h in self.histograms.items()
+            },
+        }
 
     def reset(self) -> None:
         for c in self.counters.values():

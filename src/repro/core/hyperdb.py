@@ -17,6 +17,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.common.cache import LRUCache
 from repro.common.records import Record
 from repro.common.stats import StatsRegistry
@@ -199,7 +200,15 @@ class HyperDB(KVStore):
         service time.  Call before a planned shutdown; :meth:`recover`
         rebuilds the in-memory indexes from the backups."""
         self.finalize()
-        return sum(p.checkpoint() for p in self.performance_tier.partitions)
+        service = sum(p.checkpoint() for p in self.performance_tier.partitions)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.emit(
+                "checkpoint", t=self.nvme_device.busy_seconds(),
+                partitions=len(self.performance_tier.partitions),
+                service_s=service,
+            )
+        return service
 
     def recover(self, strict: bool = False) -> float:
         """Rebuild all partitions' in-memory state from their checkpoints
@@ -214,6 +223,7 @@ class HyperDB(KVStore):
         from repro.common.errors import CorruptionError, RecoveryError
 
         service = 0.0
+        degraded = 0
         for p in self.performance_tier.partitions:
             try:
                 service += p.recover()
@@ -221,7 +231,15 @@ class HyperDB(KVStore):
                 if strict:
                     raise
                 p.reset_state()
+                degraded += 1
                 self.stats.counter("degraded_partitions").add()
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.emit(
+                "recovery", t=self.nvme_device.busy_seconds(),
+                partitions=len(self.performance_tier.partitions),
+                degraded=degraded, service_s=service,
+            )
         return service
 
     # ----------------------------------------------------------- metrics

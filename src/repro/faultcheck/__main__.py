@@ -25,6 +25,7 @@ import hashlib
 import json
 import sys
 
+from repro import obs
 from repro.faultcheck.harness import (
     run_hyperdb_crash_matrix,
     run_lsm_crash_matrix,
@@ -79,8 +80,14 @@ def main(argv: list[str] | None = None) -> int:
         "--timing-out", metavar="FILE", default=None,
         help="write per-crash-point timings + host metadata as JSON",
     )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record an obs trace (crash/fault/recovery events included) "
+        "and export it as JSONL; tracing never changes the matrix verdicts",
+    )
     args = parser.parse_args(argv)
 
+    recorder = obs.install() if args.trace_out else None
     failed = False
     reports = []
     summaries: list[str] = []
@@ -121,6 +128,13 @@ def main(argv: list[str] | None = None) -> int:
 
     total_points = sum(len(r.results) for r in reports)
     print(f"crash points exercised: {total_points}")
+    if recorder is not None:
+        obs.uninstall()
+        recorder.export_jsonl(args.trace_out)
+        print(
+            f"trace: {recorder.total_events} events "
+            f"({recorder.dropped} dropped) -> {args.trace_out}"
+        )
     if args.digest:
         digest = hashlib.sha256("\n".join(summaries).encode()).hexdigest()
         print(f"DIGEST {digest}")

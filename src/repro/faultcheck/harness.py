@@ -25,9 +25,11 @@ Everything is seeded: a failing crash point reproduces exactly.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import obs
 from repro.common.errors import PowerLossError, TransientIOError
 from repro.parallel import Job, run_jobs
 from repro.parallel.pool import unwrap_all
@@ -307,7 +309,16 @@ def _run_lsm_crash_point(
         DbPath(p.fs.post_crash_image(), target_bytes=p.target_bytes)
         for p in tree.paths
     ]
-    reopened = LSMTree.reopen(images, _lsm_options())
+    scope = (
+        obs.MetricScope(
+            "recovery",
+            {p.fs.device.profile.name: p.fs.device for p in images},
+        )
+        if obs.RECORDER is not None
+        else nullcontext()
+    )
+    with scope:
+        reopened = LSMTree.reopen(images, _lsm_options())
     assert reopened.recovery_report is not None
     result.wal_truncated = reopened.recovery_report.wal_truncated
 
@@ -461,7 +472,13 @@ def _run_hyperdb_crash_point(
 
     # Reboot on the surviving media and recover from the checkpoint.
     injector.reboot()
-    db.recover()
+    scope = (
+        obs.MetricScope("recovery", db.devices(), registry=db.stats)
+        if obs.RECORDER is not None
+        else nullcontext()
+    )
+    with scope:
+        db.recover()
 
     bad = 0
     for key, want in checkpoint_state.items():

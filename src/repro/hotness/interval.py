@@ -96,12 +96,22 @@ def interval_conditional_probabilities(
 
 
 def probability_summary(probs: np.ndarray) -> Dict[str, float]:
-    """Median and quartiles of the per-object probabilities (boxplot stats)."""
+    """Median and quartiles of the per-object probabilities (boxplot stats).
+
+    ``objects`` is the integer number of objects summarized.  An empty
+    input yields NaN statistics with ``objects == 0`` — distinguishable
+    from a populated trace whose objects are all cold (real 0.0 stats).
+    """
     if len(probs) == 0:
-        return {"median": 0.0, "p25": 0.0, "p75": 0.0, "objects": 0.0}
+        return {
+            "median": float("nan"),
+            "p25": float("nan"),
+            "p75": float("nan"),
+            "objects": 0,
+        }
     return {
         "median": float(np.percentile(probs, 50)),
         "p25": float(np.percentile(probs, 25)),
         "p75": float(np.percentile(probs, 75)),
-        "objects": float(len(probs)),
+        "objects": int(len(probs)),
     }

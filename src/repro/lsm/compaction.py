@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro import obs
 from repro.lsm.iterator import merge_records
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.version import Version
@@ -174,6 +175,15 @@ class LeveledCompactor:
         children: list[SSTable],
     ) -> list[SSTable]:
         read_bytes = sum(t.size_bytes for t in parents + children)
+        trc = obs.RECORDER
+        if trc is not None:
+            trc.begin(
+                "compaction",
+                t=self.fs_for_level(child_no).device.busy_seconds(),
+                parent_level=parent_no, child_level=child_no,
+                input_tables=len(parents) + len(children),
+                read_bytes=read_bytes,
+            )
         # Newest first: L0 tables are ordered oldest-first in the version, so
         # reverse them; parent level is newer than child level.
         streams = [
@@ -219,6 +229,13 @@ class LeveledCompactor:
             self._delete_table_file(parent_no, t)
         for t in children:
             self._delete_table_file(child_no, t)
+        if trc is not None:
+            trc.end(
+                "compaction",
+                t=self.fs_for_level(child_no).device.busy_seconds(),
+                child_level=child_no, output_tables=len(outputs),
+                write_bytes=write_bytes,
+            )
         return outputs
 
     def _delete_table_file(self, level_no: int, table: SSTable) -> None:

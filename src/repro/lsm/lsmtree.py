@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.common.cache import LRUCache
 from repro.common.errors import ConfigError, CorruptionError
 from repro.common.records import Record
@@ -377,6 +378,13 @@ class LSMTree:
         """
         if len(self._memtable) == 0:
             return 0.0
+        rec = obs.RECORDER
+        flush_dev = self.fs_for_level(self.options.first_level).device
+        if rec is not None:
+            rec.begin(
+                "flush", t=flush_dev.busy_seconds(),
+                records=len(self._memtable), bytes=self._memtable.size_bytes,
+            )
         if self.wal is not None:
             self.wal.sync()
         imm = self._memtable
@@ -387,6 +395,8 @@ class LSMTree:
         if self.wal is not None:
             self.wal.reset()
         self.maybe_compact()
+        if rec is not None:
+            rec.end("flush", t=flush_dev.busy_seconds())
         return service
 
     def _flush_immutables(self) -> float:

@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.common.records import Record
 from repro.lsm.semi.levels import SemiLevels
 from repro.lsm.semi.semisstable import SemiSSTable
@@ -169,6 +170,12 @@ class PreemptiveBlockCompactor:
         traffic = device.traffic
         read_before = traffic.read_bytes(TrafficKind.COMPACTION)
         write_before = traffic.write_bytes(TrafficKind.COMPACTION)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.begin(
+                "semi_compaction", t=traffic.busy_seconds(),
+                level=level_no, victim_records=victim.num_valid_records,
+            )
 
         records = list(victim.iter_valid_records(TrafficKind.COMPACTION))
         self._route_records(level_no, records)
@@ -181,11 +188,14 @@ class PreemptiveBlockCompactor:
         victim.destroy()
 
         self.stats.compactions += 1
-        self.stats.note_io(
-            level_no + 1,
-            traffic.read_bytes(TrafficKind.COMPACTION) - read_before,
-            traffic.write_bytes(TrafficKind.COMPACTION) - write_before,
-        )
+        read_delta = traffic.read_bytes(TrafficKind.COMPACTION) - read_before
+        write_delta = traffic.write_bytes(TrafficKind.COMPACTION) - write_before
+        self.stats.note_io(level_no + 1, read_delta, write_delta)
+        if rec is not None:
+            rec.end(
+                "semi_compaction", t=traffic.busy_seconds(),
+                level=level_no, read_bytes=read_delta, write_bytes=write_delta,
+            )
         return True
 
     def _route_records(self, level_no: int, records: list[Record]) -> None:
@@ -265,5 +275,12 @@ class PreemptiveBlockCompactor:
     def _maybe_full_compact(self, table: SemiSSTable) -> None:
         """Full compaction when stale blocks exceed ``T_clean`` (§3.4)."""
         if table.num_blocks > 0 and table.dirty_ratio > self.t_clean:
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.emit(
+                    "full_compaction",
+                    t=self.levels.fs.device.busy_seconds(),
+                    blocks=table.num_blocks,
+                )
             table.full_compact(TrafficKind.COMPACTION)
             self.stats.full_compactions += 1

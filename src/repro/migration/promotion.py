@@ -9,6 +9,7 @@ authoritative).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.common.cache import ObjectCache
 from repro.common.records import Record
 from repro.nvme.tier import PerformanceTier
@@ -39,6 +40,13 @@ class PromotionManager:
         if service >= 0:
             self.promotions += 1
             self.promoted_bytes += rec.encoded_size
+            trc = obs.RECORDER
+            if trc is not None:
+                trc.emit(
+                    "promotion",
+                    t=self.performance_tier.device.busy_seconds(),
+                    bytes=rec.encoded_size,
+                )
         if self.on_pressure is not None and partition.over_high_watermark():
             self.on_pressure()
 

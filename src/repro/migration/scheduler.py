@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.lsm.semi.engine import CapacityTier
 from repro.nvme.partition import Partition
 from repro.nvme.tier import PerformanceTier
@@ -56,6 +57,13 @@ class MigrationScheduler:
         # demote many zones (up to max_zones_per_job) before it finishes.
         self.stats.demotion_jobs += 1
         zones = 0
+        rec = obs.RECORDER
+        device = self.performance_tier.device
+        if rec is not None:
+            rec.begin(
+                "migration_job", t=device.busy_seconds(),
+                fill=round(partition.fill_fraction, 6),
+            )
         while (
             not partition.below_low_watermark() and zones < self.max_zones_per_job
         ):
@@ -67,7 +75,18 @@ class MigrationScheduler:
                 self.capacity_tier.ingest(batch, TrafficKind.MIGRATION)
                 self.stats.demoted_objects += len(batch)
                 self.stats.demoted_bytes += sum(r.encoded_size for r in batch)
+            if rec is not None:
+                rec.emit(
+                    "zone_demotion", t=device.busy_seconds(),
+                    objects=len(batch),
+                    bytes=sum(r.encoded_size for r in batch),
+                )
             zones += 1
             if not batch and zone.object_count == 0 and partition.object_count() == 0:
                 break
+        if rec is not None:
+            rec.end(
+                "migration_job", t=device.busy_seconds(),
+                zones=zones, fill=round(partition.fill_fraction, 6),
+            )
         return zones

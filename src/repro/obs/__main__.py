@@ -1,0 +1,70 @@
+"""CLI over exported trace files.
+
+Examples
+--------
+Totals and phase deltas from a bench trace::
+
+    PYTHONPATH=src python -m repro.obs summarize results/trace.jsonl
+
+Per-lane heat strips plus the compaction-cascade tree::
+
+    PYTHONPATH=src python -m repro.obs timeline results/trace.jsonl --buckets 32
+
+What changed between two runs (lane totals and event census)::
+
+    PYTHONPATH=src python -m repro.obs diff base.jsonl candidate.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.events import read_trace
+from repro.obs import report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Inspect traces exported by the --trace-out harness flags.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="event census, lane totals, phases")
+    p_sum.add_argument("trace", help="JSONL trace file")
+
+    p_tl = sub.add_parser(
+        "timeline", help="per-device per-lane heat strips + cascade tree"
+    )
+    p_tl.add_argument("trace", help="JSONL trace file")
+    p_tl.add_argument(
+        "--buckets", type=int, default=24, help="time buckets (default 24)"
+    )
+
+    p_diff = sub.add_parser("diff", help="lane-total/event-count delta of two traces")
+    p_diff.add_argument("trace_a", help="baseline JSONL trace")
+    p_diff.add_argument("trace_b", help="candidate JSONL trace")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        print(report.summarize(read_trace(args.trace)))
+    elif args.command == "timeline":
+        doc = read_trace(args.trace)
+        print(report.timeline(doc, buckets=args.buckets))
+        print(report.cascade(doc))
+    else:
+        print(
+            report.diff(
+                read_trace(args.trace_a),
+                read_trace(args.trace_b),
+                label_a=args.trace_a,
+                label_b=args.trace_b,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

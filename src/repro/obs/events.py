@@ -1,0 +1,247 @@
+"""Typed trace events and the ring-buffered :class:`TraceRecorder`.
+
+The recorder is the collection half of :mod:`repro.obs`: instrumented code
+(devices, engines, the migration scheduler, the workload runner) emits
+typed events into an ambient recorder when one is installed and does
+*nothing* when none is — the check is one module-global load per event
+site, so tracing is zero-cost when off.
+
+Two invariants every emitter must respect (regression-tested, and relied
+on by the serial-vs-parallel digest checks in CI):
+
+* **No RNG.**  Emitting an event never draws from any random stream; a
+  traced run consumes byte-for-byte the same RNG sequence as an untraced
+  one.
+* **No simulated time.**  Timestamps are *read* from the simulation (a
+  device's cumulative busy seconds), never advanced by it.  Events that
+  fire in a clockless context (fault injection) carry ``t=None``.
+
+Memory is bounded: the event ring keeps the newest ``capacity`` events
+(``dropped`` counts the overflow), while per-device, per-lane byte/IO
+totals are aggregated outside the ring, so :func:`repro.obs.report.summarize`
+reconstructs exact traffic totals even from a truncated ring.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: Default ring capacity; a smoke-mode benchmark fits, a full run keeps
+#: the newest window plus exact aggregate totals.
+DEFAULT_CAPACITY = 1 << 16
+
+#: Fields of one aggregated traffic lane (mirrors ``TrafficStats`` bytes/IOs).
+LANE_FIELDS = ("read_bytes", "write_bytes", "read_ios", "write_ios")
+
+#: Trace file format version (bumped on incompatible JSONL changes).
+TRACE_VERSION = 1
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One typed event: sequence number, simulated-time stamp, payload.
+
+    ``depth`` is the span-nesting depth at emission (see
+    :meth:`TraceRecorder.begin` / :meth:`TraceRecorder.end`); the report
+    module rebuilds cascade trees from it.  ``t`` is simulated seconds
+    (device busy time at the emitting site) or ``None`` when the emitter
+    has no clock.  ``data`` holds only JSON-safe scalars.
+    """
+
+    seq: int
+    t: Optional[float]
+    type: str
+    depth: int
+    data: dict
+
+    def to_json(self) -> dict:
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "type": self.type,
+            "depth": self.depth,
+            "data": self.data,
+        }
+
+
+class TraceRecorder:
+    """Bounded-memory collector of :class:`TraceEvent` streams.
+
+    Alongside the ring it keeps three always-exact aggregates:
+
+    * :attr:`lane_totals` — ``device -> lane -> {read/write bytes, IOs}``,
+      updated on every :meth:`io` call (never truncated);
+    * :attr:`counts` — events emitted per type (dropped events included);
+    * :attr:`phases` — phase-scope reports appended by
+      :class:`repro.obs.metrics.MetricScope`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._depth = 0
+        self.dropped = 0
+        self.counts: dict[str, int] = {}
+        self.lane_totals: dict[str, dict[str, dict[str, int]]] = {}
+        self.phases: list[dict] = []
+
+    # ------------------------------------------------------------ emitting
+
+    def emit(self, etype: str, t: Optional[float] = None, **data) -> None:
+        """Append one event.  ``data`` values must be JSON-safe scalars."""
+        self._seq += 1
+        self.counts[etype] = self.counts.get(etype, 0) + 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self._seq, t, etype, self._depth, data))
+
+    def begin(self, etype: str, t: Optional[float] = None, **data) -> None:
+        """Open a span: emits ``<etype>_begin`` and deepens nesting."""
+        self.emit(f"{etype}_begin", t, **data)
+        self._depth += 1
+
+    def end(self, etype: str, t: Optional[float] = None, **data) -> None:
+        """Close a span: shallows nesting and emits ``<etype>_end``."""
+        self._depth = max(0, self._depth - 1)
+        self.emit(f"{etype}_end", t, **data)
+
+    def io(
+        self,
+        device: str,
+        lane: str,
+        rw: str,
+        nbytes: int,
+        ios: int,
+        t: Optional[float] = None,
+    ) -> None:
+        """Record one device I/O: exact lane aggregation + a ring event.
+
+        ``rw`` is ``"read"`` or ``"write"``; ``lane`` is a
+        :class:`repro.simssd.traffic.TrafficKind` value.
+        """
+        lanes = self.lane_totals.setdefault(device, {})
+        tot = lanes.get(lane)
+        if tot is None:
+            tot = lanes[lane] = dict.fromkeys(LANE_FIELDS, 0)
+        tot[f"{rw}_bytes"] += nbytes
+        tot[f"{rw}_ios"] += ios
+        self.emit("io", t, device=device, lane=lane, rw=rw, bytes=nbytes, ios=ios)
+
+    def note_phase(self, report: dict) -> None:
+        """Attach one phase-scope report (see :mod:`repro.obs.metrics`)."""
+        self.phases.append(report)
+
+    # ----------------------------------------------------------- accessors
+
+    @property
+    def num_events(self) -> int:
+        """Events currently retained in the ring."""
+        return len(self._events)
+
+    @property
+    def total_events(self) -> int:
+        """Events ever emitted (retained + dropped)."""
+        return self._seq
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    # ------------------------------------------------------ export / merge
+
+    def to_doc(self) -> dict:
+        """The whole trace as one JSON-safe document."""
+        return {
+            "header": {
+                "version": TRACE_VERSION,
+                "capacity": self.capacity,
+                "events": len(self._events),
+                "total_events": self._seq,
+                "dropped": self.dropped,
+                "counts": dict(self.counts),
+            },
+            "lane_totals": {
+                dev: {lane: dict(tot) for lane, tot in lanes.items()}
+                for dev, lanes in self.lane_totals.items()
+            },
+            "phases": list(self.phases),
+            "events": [ev.to_json() for ev in self._events],
+        }
+
+    def absorb(self, doc: dict) -> None:
+        """Fold an exported trace document into this recorder.
+
+        This is the shard reducer: a worker process records its own trace,
+        exports it with :meth:`to_doc`, and the parent absorbs the shard
+        docs *in submission order* — so the merged stream is deterministic
+        and equal to the single-process stream (events are renumbered onto
+        this recorder's sequence; aggregates are plain sums).
+        """
+        for ev in doc.get("events", ()):
+            self._seq += 1
+            etype = ev["type"]
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(
+                TraceEvent(self._seq, ev["t"], etype, ev["depth"], ev["data"])
+            )
+        # Counts cover dropped events too, so fold the shard's full census
+        # (not just the events replayed above), then its own drop count.
+        for etype, n in doc.get("header", {}).get("counts", {}).items():
+            self.counts[etype] = self.counts.get(etype, 0) + n
+        self.dropped += doc.get("header", {}).get("dropped", 0)
+        for dev, lanes in doc.get("lane_totals", {}).items():
+            tgt_lanes = self.lane_totals.setdefault(dev, {})
+            for lane, tot in lanes.items():
+                tgt = tgt_lanes.setdefault(lane, dict.fromkeys(LANE_FIELDS, 0))
+                for fld, v in tot.items():
+                    tgt[fld] = tgt.get(fld, 0) + v
+        self.phases.extend(doc.get("phases", ()))
+
+    def export_jsonl(self, path: str) -> None:
+        """Write the trace as JSON Lines: header, lane totals, phases, events."""
+        doc = self.to_doc()
+        with open(path, "w") as f:
+            f.write(json.dumps({"kind": "header", **doc["header"]}) + "\n")
+            f.write(
+                json.dumps({"kind": "lane_totals", "devices": doc["lane_totals"]})
+                + "\n"
+            )
+            for phase in doc["phases"]:
+                f.write(json.dumps({"kind": "phase", **phase}) + "\n")
+            for ev in doc["events"]:
+                f.write(json.dumps({"kind": "event", **ev}) + "\n")
+
+
+def read_trace(path: str) -> dict:
+    """Load a JSONL trace back into the :meth:`TraceRecorder.to_doc` shape."""
+    doc: dict = {"header": {}, "lane_totals": {}, "phases": [], "events": []}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.pop("kind", "event")
+            if kind == "header":
+                doc["header"] = rec
+            elif kind == "lane_totals":
+                doc["lane_totals"] = rec.get("devices", {})
+            elif kind == "phase":
+                doc["phases"].append(rec)
+            else:
+                doc["events"].append(rec)
+    return doc
+
+
+def events_of(doc: dict, *types: str) -> Iterable[dict]:
+    """The doc's ring events, optionally filtered to the given types."""
+    if not types:
+        return list(doc.get("events", ()))
+    wanted = set(types)
+    return [ev for ev in doc.get("events", ()) if ev["type"] in wanted]

@@ -34,6 +34,8 @@ import multiprocessing as mp
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class Job:
@@ -107,6 +109,33 @@ def _call_indexed(payload: tuple[int, Job]) -> tuple[int, float, bool, Any, str]
     return index, seconds, ok, value, error
 
 
+def _call_traced(job: Job) -> tuple[float, bool, Any, str, dict]:
+    """Run one job under a fresh, private trace recorder.
+
+    Returns the job outcome plus the exported trace shard.  Every traced
+    job — serial or pooled — records into its own recorder, so the shards
+    the scheduler absorbs (in submission order) are identical at any
+    worker count.  The previous ambient recorder is restored afterwards,
+    which on the serial path hands control back to the caller's recorder.
+    """
+    prev = obs.RECORDER
+    capacity = prev.capacity if prev is not None else obs.DEFAULT_CAPACITY
+    rec = obs.install(capacity=capacity)
+    try:
+        seconds, ok, value, error = _call(job)
+    finally:
+        obs.RECORDER = prev
+    return seconds, ok, value, error, rec.to_doc()
+
+
+def _call_traced_indexed(
+    payload: tuple[int, Job]
+) -> tuple[int, float, bool, Any, str, dict]:
+    index, job = payload
+    seconds, ok, value, error, doc = _call_traced(job)
+    return index, seconds, ok, value, error, doc
+
+
 def _pool_context() -> mp.context.BaseContext:
     # fork keeps worker start-up at milliseconds and needs no re-import of
     # the (numpy-heavy) repro modules; fall back to the platform default
@@ -136,10 +165,21 @@ def run_jobs(
     jobs = list(jobs)
     if workers <= 0:
         workers = default_workers()
+    # With an ambient recorder installed, every job records into its own
+    # shard (even serially) and the shards are folded back here in
+    # submission order — so the merged trace, like the results, is a pure
+    # function of the job list at any worker count.
+    parent_recorder = obs.RECORDER
+    traced = parent_recorder is not None
+    trace_docs: list[Optional[dict]] = [None] * len(jobs)
     results: list[JobResult] = []
     if workers == 1 or len(jobs) <= 1:
         for index, job in enumerate(jobs):
-            seconds, ok, value, error = _call(job)
+            if traced:
+                seconds, ok, value, error, doc = _call_traced(job)
+                trace_docs[index] = doc
+            else:
+                seconds, ok, value, error = _call(job)
             results.append(
                 JobResult(index, job.label, seconds, ok, value, error)
             )
@@ -148,13 +188,26 @@ def run_jobs(
             max_workers=min(workers, len(jobs)), mp_context=_pool_context()
         ) as pool:
             by_index: dict[int, JobResult] = {}
-            for index, seconds, ok, value, error in pool.map(
-                _call_indexed, list(enumerate(jobs)), chunksize=1
-            ):
-                by_index[index] = JobResult(
-                    index, jobs[index].label, seconds, ok, value, error
-                )
+            if traced:
+                for index, seconds, ok, value, error, doc in pool.map(
+                    _call_traced_indexed, list(enumerate(jobs)), chunksize=1
+                ):
+                    by_index[index] = JobResult(
+                        index, jobs[index].label, seconds, ok, value, error
+                    )
+                    trace_docs[index] = doc
+            else:
+                for index, seconds, ok, value, error in pool.map(
+                    _call_indexed, list(enumerate(jobs)), chunksize=1
+                ):
+                    by_index[index] = JobResult(
+                        index, jobs[index].label, seconds, ok, value, error
+                    )
         results = [by_index[i] for i in range(len(jobs))]
+    if traced:
+        for doc in trace_docs:
+            if doc is not None:
+                parent_recorder.absorb(doc)
     if raise_on_error:
         for r in results:
             r.unwrap()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.perf.harness import (
     PerfScale,
     bench_names,
@@ -43,10 +44,24 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes: fans independent benches across a pool and "
         "sets the parallel_e2e fan-out width (1 = serial, 0 = one per core)",
     )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record an obs trace of the benches and export it as JSONL "
+        "(tracing itself is timed work here — compare traced runs only "
+        "with traced runs)",
+    )
     args = parser.parse_args(argv)
 
     scale = PerfScale.smoke() if args.smoke else PerfScale.full()
+    recorder = obs.install() if args.trace_out else None
     results = run_benches(scale, only=args.bench, workers=args.workers)
+    if recorder is not None:
+        obs.uninstall()
+        recorder.export_jsonl(args.trace_out)
+        print(
+            f"trace: {recorder.total_events} events "
+            f"({recorder.dropped} dropped) -> {args.trace_out}"
+        )
     run = None
     if not args.no_save:
         run = record_run(args.out, args.label, scale, results, workers=args.workers)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.common.errors import CapacityError, TransientIOError
 from repro.simssd.faults import FaultInjector, RetryPolicy
 from repro.simssd.profiles import DeviceProfile
@@ -149,14 +150,19 @@ class SimDevice:
         if num_pages <= 0:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=False)
+        nbytes = num_pages * self.page_size
+        rec = obs.RECORDER
         service = 0.0
         attempt = 0
         while True:
             failed = self.injector.pull_read_fault() if self.injector else False
-            self.traffic.note_read(
-                kind, num_pages * self.page_size, ios, latency, transfer
-            )
+            self.traffic.note_read(kind, nbytes, ios, latency, transfer)
             service += latency + transfer
+            if rec is not None:
+                rec.io(
+                    self.profile.name, kind.value, "read", nbytes, ios,
+                    t=self.traffic.busy_seconds(),
+                )
             if not failed:
                 return service
             delay = self.retry_policy.backoff_s(attempt)
@@ -166,6 +172,12 @@ class SimDevice:
                     f"{attempt + 1} attempts on {self.profile.name!r}"
                 )
             self.retried_ios += ios
+            if rec is not None:
+                rec.emit(
+                    "retry", t=self.traffic.busy_seconds(),
+                    device=self.profile.name, rw="read", lane=kind.value,
+                    attempt=attempt, backoff_s=delay,
+                )
             service += delay
             attempt += 1
 
@@ -182,14 +194,19 @@ class SimDevice:
         if num_pages <= 0:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=True)
+        nbytes = num_pages * self.page_size
+        rec = obs.RECORDER
         service = 0.0
         attempt = 0
         while True:
             failed = self.injector.pull_write_fault() if self.injector else False
-            self.traffic.note_write(
-                kind, num_pages * self.page_size, ios, latency, transfer
-            )
+            self.traffic.note_write(kind, nbytes, ios, latency, transfer)
             service += latency + transfer
+            if rec is not None:
+                rec.io(
+                    self.profile.name, kind.value, "write", nbytes, ios,
+                    t=self.traffic.busy_seconds(),
+                )
             if not failed:
                 return service
             delay = self.retry_policy.backoff_s(attempt)
@@ -199,6 +216,12 @@ class SimDevice:
                     f"{attempt + 1} attempts on {self.profile.name!r}"
                 )
             self.retried_ios += ios
+            if rec is not None:
+                rec.emit(
+                    "retry", t=self.traffic.busy_seconds(),
+                    device=self.profile.name, rw="write", lane=kind.value,
+                    attempt=attempt, backoff_s=delay,
+                )
             service += delay
             attempt += 1
 

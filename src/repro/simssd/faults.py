@@ -37,6 +37,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.common.errors import PowerLossError
 
 
@@ -142,6 +143,10 @@ class FaultInjector:
             fail = self._rng.random() < self.plan.read_error_rate
         if fail and self._budget_left():
             self.transient_read_faults += 1
+            rec = obs.RECORDER
+            if rec is not None:
+                # The injector has no clock, so fault events carry t=None.
+                rec.emit("fault", rw="read", io=self.read_ios)
             return True
         return False
 
@@ -160,6 +165,12 @@ class FaultInjector:
             self.crashed = True
             self._crash_fired = True
             torn = self._rng.random() if self.plan.torn_write else 1.0
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.emit(
+                    "crash", io=self.write_ios, torn_fraction=torn,
+                    torn=self.plan.torn_write,
+                )
             raise PowerLossError(
                 f"power loss at write I/O #{self.write_ios}", torn_fraction=torn
             )
@@ -168,6 +179,9 @@ class FaultInjector:
             fail = self._rng.random() < self.plan.write_error_rate
         if fail and self._budget_left():
             self.transient_write_faults += 1
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.emit("fault", rw="write", io=self.write_ios)
             return True
         return False
 
@@ -182,6 +196,9 @@ class FaultInjector:
         self.bitflips += 1
         pos = self._rng.randrange(len(data))
         bit = 1 << self._rng.randrange(8)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.emit("bitflip", pos=pos, nbytes=len(data))
         out = bytearray(data)
         out[pos] ^= bit
         return bytes(out)

@@ -25,11 +25,13 @@ latency are then derived:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.common.keys import encode_key
 from repro.common.stats import LatencyHistogram
 from repro.core.interface import KVStore
@@ -38,7 +40,7 @@ from repro.ycsb.distributions import (
     ScrambledZipfianGenerator,
     UniformGenerator,
 )
-from repro.ycsb.workload import OpType, WorkloadSpec
+from repro.ycsb.workload import MIX_TOLERANCE, OpType, WorkloadSpec
 
 #: CPU cost per operation (request parsing, index walk) in seconds.  Small
 #: enough that devices dominate, large enough to bound ops/s per core.
@@ -92,15 +94,26 @@ class RunResult:
         return hist.p99 if hist else 0.0
 
     def write_bytes(self, device: str, kind: Optional[str] = None) -> float:
-        lanes = self.traffic[device]
+        """Bytes written on ``device`` (optionally one lane) during the run.
+
+        Unknown device or lane names mean "no such traffic happened", so
+        they answer 0.0 instead of raising — benchmark tables probe lanes
+        (e.g. ``gc``) that some stores never exercise.
+        """
+        lanes = self.traffic.get(device)
+        if lanes is None:
+            return 0.0
         if kind is not None:
-            return lanes[kind]["write_bytes"]
+            return lanes.get(kind, {}).get("write_bytes", 0.0)
         return sum(l["write_bytes"] for l in lanes.values())
 
     def read_bytes(self, device: str, kind: Optional[str] = None) -> float:
-        lanes = self.traffic[device]
+        """Bytes read on ``device`` during the run; 0.0 for unknown names."""
+        lanes = self.traffic.get(device)
+        if lanes is None:
+            return 0.0
         if kind is not None:
-            return lanes[kind]["read_bytes"]
+            return lanes.get(kind, {}).get("read_bytes", 0.0)
         return sum(l["read_bytes"] for l in lanes.values())
 
 
@@ -138,13 +151,19 @@ class WorkloadRunner:
     def load(self, shuffle: bool = True) -> float:
         """Insert the initial dataset (random order, like the paper's load
         phase).  Returns total foreground service seconds."""
-        ids = np.arange(self.record_count)
-        if shuffle:
-            self.rng.shuffle(ids)
-        total = 0.0
-        for kid in ids:
-            total += self.store.put(encode_key(int(kid)), self._value(int(kid)))
-        self.store.finalize()
+        scope = (
+            obs.MetricScope("load", self.store.devices())
+            if obs.RECORDER is not None
+            else nullcontext()
+        )
+        with scope:
+            ids = np.arange(self.record_count)
+            if shuffle:
+                self.rng.shuffle(ids)
+            total = 0.0
+            for kid in ids:
+                total += self.store.put(encode_key(int(kid)), self._value(int(kid)))
+            self.store.finalize()
         return total
 
     # ----------------------------------------------------------------- run
@@ -163,7 +182,26 @@ class WorkloadRunner:
         snap_before = {name: d.traffic.snapshot() for name, d in devices.items()}
 
         generator = self._make_generator(spec)
-        mix = np.array([spec.read, spec.update, spec.insert, spec.scan, spec.rmw])
+        mix = np.array(
+            [spec.read, spec.update, spec.insert, spec.scan, spec.rmw],
+            dtype=np.float64,
+        )
+        total_mix = float(mix.sum())
+        if (
+            not np.all(np.isfinite(mix))
+            or np.any(mix < 0)
+            or abs(total_mix - 1.0) > MIX_TOLERANCE
+        ):
+            raise ValueError(
+                f"workload {spec.name!r}: op mix must be non-negative and sum "
+                f"to 1.0 (±{MIX_TOLERANCE:g}), got {mix.tolist()} "
+                f"(sum {total_mix!r})"
+            )
+        if total_mix != 1.0:
+            # Tiny float drift (1 - 0.95 - 0.04 ≈ 0.01 + 8e-18) is past
+            # rng.choice's own tolerance; renormalize so it always accepts.
+            # Skipped for exact mixes so their RNG draw stays bit-identical.
+            mix = mix / total_mix
         ops = (OpType.READ, OpType.UPDATE, OpType.INSERT, OpType.SCAN, OpType.RMW)
         choices = self.rng.choice(len(ops), size=operations, p=mix)
 
@@ -185,9 +223,13 @@ class WorkloadRunner:
         key_buf: "np.ndarray | list[int]" = []
         buf_pos = 0
 
+        trace = obs.RECORDER
         for i, op_idx in enumerate(choice_list):
             op = ops[op_idx]
             busy_before = [d.busy_seconds() for d in device_objs]
+            if trace is not None:
+                op_t0 = sum(busy_before)
+                trace.begin("op", t=op_t0, op=op.value)
             cpu = CPU_PER_OP
             if op is OpType.INSERT:
                 kid = self.record_count + self._insert_count
@@ -230,6 +272,13 @@ class WorkloadRunner:
                 if delta > 0:
                     shares[device_names[k]] = delta
                     total_delta += delta
+            if trace is not None:
+                # Busy time is monotonic, so the positive deltas summed into
+                # total_delta are exactly how far the devices moved.
+                trace.end(
+                    "op", t=op_t0 + total_delta, op=op.value,
+                    service_s=service + cpu,
+                )
             if total_delta > 0 and service > 0:
                 scale_f = min(1.0, service / total_delta)
                 if scale_f < 1.0:
@@ -243,6 +292,12 @@ class WorkloadRunner:
         self.store.finalize()
         snap_after = {name: d.traffic.snapshot() for name, d in devices.items()}
         traffic = _diff_snapshots(snap_before, snap_after)
+        if trace is not None:
+            # The run phase's traffic delta is already computed above, so
+            # publish it directly instead of re-snapshotting via MetricScope.
+            trace.note_phase(
+                {"phase": "run", "workload": spec.name, "traffic": traffic}
+            )
 
         elapsed = self._elapsed(traffic, cpu_total, fg_service_total)
         rho_by_device = {

@@ -69,7 +69,21 @@ class TestStatsRegistry:
         r = StatsRegistry()
         assert r.counter("a") is r.counter("a")
         r.counter("a").add(3)
-        assert r.snapshot() == {"a": 3}
+        assert r.snapshot() == {"counters": {"a": 3}, "histograms": {}}
+
+    def test_snapshot_includes_histograms(self):
+        # Regression: snapshot() used to silently drop histograms, so any
+        # consumer (dumps, MetricScope deltas) lost latency data.
+        r = StatsRegistry()
+        r.counter("ops").add(2)
+        for v in range(1, 101):
+            r.histogram("lat").record(float(v))
+        snap = r.snapshot()
+        assert snap["counters"] == {"ops": 2}
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 100
+        assert hist["median"] == 50.5
+        assert abs(hist["p99"] - np.percentile(np.arange(1, 101), 99)) < 1e-9
 
     def test_histogram_identity(self):
         r = StatsRegistry()

@@ -176,5 +176,17 @@ class TestIntervalAnalysis:
             interval_conditional_probabilities(["a"], threshold=1, history=0)
 
     def test_summary_empty(self):
+        # Regression: an empty input used to report all-zero quantiles
+        # (indistinguishable from "every object is cold") and a float
+        # object count.  Emptiness is now explicit: NaN quantiles, int 0.
         s = probability_summary(np.array([]))
-        assert s["objects"] == 0.0
+        assert s["objects"] == 0
+        assert isinstance(s["objects"], int)
+        assert np.isnan(s["median"])
+        assert np.isnan(s["p25"])
+        assert np.isnan(s["p75"])
+
+    def test_summary_objects_is_int(self):
+        s = probability_summary(np.array([0.25, 0.75]))
+        assert s["objects"] == 2
+        assert isinstance(s["objects"], int)

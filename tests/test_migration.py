@@ -124,6 +124,44 @@ class TestMigrationScheduler:
             sched.run_if_needed()
         assert sched.stats.demoted_bytes >= sched.stats.demoted_objects * 400
 
+    def test_max_zones_per_job_caps_one_invocation(self):
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap, max_zones_per_job=1)
+        i = 0
+        while not perf.partitions_over_watermark() and i < KEYSPACE:
+            perf.put(rec(i))
+            i += 1
+        over = [p for p in perf.partitions if p.over_high_watermark()]
+        zones = sched.run_if_needed()
+        # One job per over-watermark partition, each demoting at most one
+        # zone despite the partition still sitting above its low watermark.
+        assert 0 < zones <= len(over)
+        assert sched.stats.demotion_jobs == len(over)
+        # Repeated invocations still drain the tier to the watermark.
+        for _ in range(200):
+            if not perf.partitions_over_watermark():
+                break
+            sched.run_if_needed()
+        assert not perf.partitions_over_watermark()
+
+    def test_hot_zone_only_partition_terminates_with_zero_zones(self):
+        # Edge case: every object lives in the hot zone (promotions), so
+        # select_demotion_zone() keeps answering None.  The job must
+        # terminate immediately with zero zones instead of spinning.
+        perf, cap = make_tiers()
+        sched = MigrationScheduler(perf, cap)
+        part = perf.partitions[0]
+        i = 0
+        while part.below_low_watermark() and i < KEYSPACE:
+            if perf.partition_for_key(encode_key(i)) is part:
+                part.promote(rec(i))
+            i += 1
+        assert not part.below_low_watermark()
+        assert part.select_demotion_zone() is None
+        assert sched._demote_partition(part) == 0
+        assert sched.stats.demotion_jobs == 1
+        assert sched.stats.demoted_objects == 0
+
 
 class TestPromotionManager:
     def test_stage_and_lookup(self):

@@ -169,3 +169,56 @@ class TestRunResultHelpers:
         spec = WorkloadSpec("mix", read=0.5, update=0.5, distribution="uniform")
         result = runner.run(spec, 1000)
         assert result.overall_latency.count == 1000
+
+    def test_unknown_device_or_lane_reads_as_zero(self):
+        # Regression: probing a device or lane absent from the traffic dict
+        # used to raise KeyError; benchmark tables probe lanes (e.g. gc)
+        # that some stores never exercise.
+        store = SyntheticStore(bg_pages=2)
+        runner = WorkloadRunner(store, record_count=100, seed=0)
+        result = runner.run(UPDATE_ONLY, 200)
+        assert result.write_bytes("no-such-device") == 0.0
+        assert result.write_bytes("no-such-device", "compaction") == 0.0
+        assert result.read_bytes("no-such-device") == 0.0
+        assert result.read_bytes("dev", "no-such-lane") == 0.0
+        assert result.write_bytes("dev", "no-such-lane") == 0.0
+
+
+class TestOpMixValidation:
+    def test_drifting_mix_accepted_and_runs(self):
+        # Regression: a mix summing to 1±1e-8 (plain float arithmetic) is
+        # within spec tolerance but past numpy's rng.choice tolerance
+        # (~1.5e-8); the runner used to crash inside rng.choice.
+        drift = 1e-7
+        spec = WorkloadSpec(
+            "drift", read=0.3, update=0.3, scan=0.4 - drift,
+            distribution="uniform",
+        )
+        runner = WorkloadRunner(SyntheticStore(), record_count=100, seed=0)
+        result = runner.run(spec, 300)
+        assert result.operations == 300
+
+    def test_invalid_mix_raises_clear_error(self):
+        # A spec that dodged WorkloadSpec validation (e.g. constructed via
+        # replace-free __new__) must still be rejected by the runner with a
+        # ValueError naming the workload, not a numpy internals crash.
+        spec = object.__new__(WorkloadSpec)
+        for fld, v in dict(
+            name="broken", read=0.7, update=0.0, insert=0.0, scan=0.0,
+            rmw=0.0, distribution="uniform", theta=0.99, scan_length=50,
+        ).items():
+            object.__setattr__(spec, fld, v)
+        runner = WorkloadRunner(SyntheticStore(), record_count=100, seed=0)
+        with pytest.raises(ValueError, match="broken.*sum"):
+            runner.run(spec, 100)
+
+    def test_exact_mix_rng_stream_unchanged(self):
+        # Mixes that sum to exactly 1.0 skip renormalization, so their RNG
+        # consumption is bit-identical to the pre-fix behaviour.
+        a = WorkloadRunner(SyntheticStore(), record_count=100, seed=3).run(
+            UPDATE_ONLY, 400
+        )
+        b = WorkloadRunner(SyntheticStore(), record_count=100, seed=3).run(
+            UPDATE_ONLY, 400
+        )
+        assert list(a.overall_latency.samples()) == list(b.overall_latency.samples())
