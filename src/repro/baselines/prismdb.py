@@ -15,11 +15,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.common.btree import BTreeIndex
 from repro.common.cache import LRUCache
-from repro.common.errors import ReproError
+from repro.common.errors import DeviceOfflineError, ReproError
 from repro.common.records import Record
 from repro.core.interface import KVStore
+from repro.health.state import HealthState
 from repro.lsm.blocks import decode_one
 from repro.lsm.lsmtree import DbPath, LSMOptions, LSMTree
 from repro.nvme.config import NVMeConfig
@@ -102,24 +104,27 @@ class _SlabStore:
         return slab
 
     def put(self, rec: Record, kind=TrafficKind.FOREGROUND) -> float:
-        service = 0.0
-        loc: Optional[SlotLocation] = self.index.get(rec.key)
-        needed = rec.encoded_size
-        if loc is not None and needed <= loc.slot_size:
-            slab = self._slabs_by_zone(loc.zone_id)
-            new_loc, s = slab.update_in_place(loc, rec, kind, self.cache)
+        # Epoch: the tombstone-then-rewrite path must not be torn by a
+        # health window opening between its I/Os.
+        with self.device.health_epoch:
+            service = 0.0
+            loc: Optional[SlotLocation] = self.index.get(rec.key)
+            needed = rec.encoded_size
+            if loc is not None and needed <= loc.slot_size:
+                slab = self._slabs_by_zone(loc.zone_id)
+                new_loc, s = slab.update_in_place(loc, rec, kind, self.cache)
+                self.index.insert(rec.key, new_loc)
+                return s
+            if loc is not None:
+                slab = self._slabs_by_zone(loc.zone_id)
+                service += slab.write_tombstone(loc, kind, self.cache)
+                slab.remove_object(rec.key, loc)
+            slot_size = self.config.slot_class_for(needed)
+            slab = self._slab_for(slot_size)
+            new_loc, s = slab.write_record(rec, slot_size, kind, self.cache)
+            service += s
             self.index.insert(rec.key, new_loc)
-            return s
-        if loc is not None:
-            slab = self._slabs_by_zone(loc.zone_id)
-            service += slab.write_tombstone(loc, kind, self.cache)
-            slab.remove_object(rec.key, loc)
-        slot_size = self.config.slot_class_for(needed)
-        slab = self._slab_for(slot_size)
-        new_loc, s = slab.write_record(rec, slot_size, kind, self.cache)
-        service += s
-        self.index.insert(rec.key, new_loc)
-        return service
+            return service
 
     def _slabs_by_zone(self, zone_id: int) -> Zone:
         for slab in self._slabs.values():
@@ -158,7 +163,7 @@ class _SlabStore:
         for key, loc in located:
             raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
             rec = decode_one(raw)
-            out.append(Record(key, rec.value, rec.seqno))
+            out.append(Record(key, rec.value, rec.seqno, rec.deleted))
             slab = self._slabs_by_zone(loc.zone_id)
             slab.remove_object(key, loc)
             self.index.delete(key)
@@ -224,6 +229,13 @@ class PrismDBStore(KVStore):
         self.demoted_objects = 0
         self.demotion_page_reads = 0
         self.promotions = 0
+        # Degraded-mode accounting (tier outage failover).
+        self.failover_writes = 0
+        self.failover_blocked_reads = 0
+        self.paused_demotions = 0
+        self.requeued_objects = 0
+        self.catch_up_drains = 0
+        self._catch_up_pending = False
 
     # ------------------------------------------------------------- space
 
@@ -249,33 +261,65 @@ class PrismDBStore(KVStore):
         return self._seqno
 
     def put(self, key: bytes, value: bytes) -> float:
-        rec = Record(key, value, self.next_seqno())
-        self.clock.access(key)
-        service = self.slabs.put(rec)
-        if self._over_watermark():
-            self._demote()
-        return service
+        return self._write_record(Record(key, value, self.next_seqno()))
 
     def delete(self, key: bytes) -> float:
-        rec = Record.tombstone(key, self.next_seqno())
-        self.clock.access(key)
+        return self._write_record(Record.tombstone(key, self.next_seqno()))
+
+    def _write_record(self, rec: Record) -> float:
+        if self.nvme_device.health() is HealthState.OFFLINE:
+            return self._failover_write(rec)
+        self.clock.access(rec.key)
         service = self.slabs.put(rec)
         if self._over_watermark():
             self._demote()
+        if self._catch_up_pending:
+            self._run_catch_up()
+        return service
+
+    def _failover_write(self, rec: Record) -> float:
+        """NVMe OFFLINE: write straight into the SATA tree.
+
+        The stale slab-resident copy (if any) is forgotten in memory so it
+        cannot shadow the newer SATA version after recovery.  Slab copies
+        are always authoritative in PrismDB (promotion re-stamps seqnos),
+        so there is no safe read fallthrough — but writes are absorbed.
+        """
+        service = self.tree.ingest_batch([rec], TrafficKind.FOREGROUND)
+        self.slabs.remove(rec.key)
+        self.clock.forget(rec.key)
+        self.failover_writes += 1
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "failover", t=self.sata_device.busy_seconds(),
+                op="write", tier="sata",
+            )
         return service
 
     def get(self, key: bytes):
-        rec, service = self.slabs.get(key)
-        if rec is not None:
-            self.clock.access(key)
-            return (None if rec.is_tombstone else rec.value), service
+        nvme_offline = self.nvme_device.health() is HealthState.OFFLINE
+        if nvme_offline:
+            if self.slabs.index.get(key) is not None:
+                # The slab copy is the only current version.
+                self.failover_blocked_reads += 1
+                raise DeviceOfflineError(
+                    f"key resident only on offline device "
+                    f"{self.nvme_device.profile.name!r}"
+                )
+            service = 0.0
+        else:
+            rec, service = self.slabs.get(key)
+            if rec is not None:
+                self.clock.access(key)
+                return (None if rec.is_tombstone else rec.value), service
         # Promotion eligibility is judged on history *before* this access —
         # otherwise every capacity-tier read would self-qualify and thrash.
         seen_recently = self._recent_reads.get(key) is not None
         self._recent_reads.put(key, True, charge=1)
         value, s = self.tree.get(key)
         service += s
-        if value is not None and seen_recently:
+        if value is not None and seen_recently and not nvme_offline:
             # Promote: install the object back into the slabs.
             promoted = Record(key, value, self.next_seqno())
             self.slabs.put(promoted, TrafficKind.MIGRATION)
@@ -314,6 +358,10 @@ class PrismDBStore(KVStore):
     # ----------------------------------------------------------- demotion
 
     def _demote(self) -> None:
+        if self.sata_device.health() is HealthState.OFFLINE:
+            # Capacity tier down: pause demotion, catch up after recovery.
+            self._pause_demotion()
+            return
         rounds = 0
         while self._over_watermark() and not self._below_low() and rounds < 64:
             victims = self._select_demotion_window()
@@ -321,13 +369,48 @@ class PrismDBStore(KVStore):
                 break
             batch, _, pages = self.slabs.collect(victims, TrafficKind.MIGRATION)
             if batch:
-                self.tree.ingest_batch(batch, TrafficKind.MIGRATION)
+                try:
+                    self.tree.ingest_batch(batch, TrafficKind.MIGRATION)
+                except DeviceOfflineError:
+                    # The window opened between collect and ingest (the
+                    # ingest epoch rejects atomically): put the batch back
+                    # whole and queue a catch-up pass.
+                    for rec in batch:
+                        self.slabs.put(rec, TrafficKind.MIGRATION)
+                    self.requeued_objects += len(batch)
+                    self._pause_demotion()
+                    return
                 self.demoted_objects += len(batch)
                 self.demotion_page_reads += pages
                 for rec in batch:
                     self.clock.forget(rec.key)
             self.demotion_jobs += 1
             rounds += 1
+
+    def _pause_demotion(self) -> None:
+        self.paused_demotions += 1
+        self._catch_up_pending = True
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "migration_paused", t=self.nvme_device.busy_seconds(),
+                engine=self.name,
+            )
+
+    def _run_catch_up(self) -> None:
+        """Drain the deferred demotion exactly once after SATA recovery."""
+        if self.sata_device.health() is HealthState.OFFLINE:
+            return
+        self._catch_up_pending = False
+        self.catch_up_drains += 1
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "migration_catchup", t=self.nvme_device.busy_seconds(),
+                engine=self.name,
+            )
+        if self._over_watermark():
+            self._demote()
 
     def _select_demotion_window(self) -> list[bytes]:
         """Cost-benefit range selection (PrismDB's multi-tiered compaction):

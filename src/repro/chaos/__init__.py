@@ -1,0 +1,31 @@
+"""Chaos soak harness: degraded-mode operation under scheduled tier faults.
+
+Composes :class:`~repro.health.state.HealthWindow` schedules (outages and
+brownouts), admission-control backpressure, and planned restarts over long
+mixed workloads, and checks an integrity oracle: every acknowledged write
+stays readable with its latest value across failover and recovery.
+
+Run it with ``python -m repro.chaos`` (see ``--help``).
+"""
+
+from repro.chaos.harness import (
+    ChaosScenario,
+    SoakReport,
+    SoakResult,
+    WindowSpec,
+    default_scenarios,
+    run_scenario,
+    run_soak,
+    smoke_scenarios,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "SoakReport",
+    "SoakResult",
+    "WindowSpec",
+    "default_scenarios",
+    "run_scenario",
+    "run_soak",
+    "smoke_scenarios",
+]

@@ -1,0 +1,109 @@
+"""CLI for the chaos soak harness.
+
+Examples
+--------
+Run the full soak matrix (outages, brownouts, composed restart)::
+
+    PYTHONPATH=src python -m repro.chaos
+
+The CI smoke configuration (one NVMe outage + one capacity brownout)::
+
+    PYTHONPATH=src python -m repro.chaos --smoke
+
+Fan scenarios across worker processes (reports are identical at every
+worker count — CI asserts the digest matches the serial run)::
+
+    PYTHONPATH=src python -m repro.chaos --workers 2 --digest
+
+Exit status is non-zero when any scenario's integrity oracle fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+
+from repro import obs
+from repro.chaos.harness import default_scenarios, run_soak, smoke_scenarios
+from repro.parallel import host_metadata
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.chaos",
+        description="Seeded chaos soak: tier outages/brownouts over long "
+        "mixed workloads, checked by an acked-write integrity oracle.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--ops", type=int, default=900, help="ops per scenario (default 900)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the short CI scenario set instead of the full matrix",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the scenario fan-out (1 = serial "
+        "in-process, 0 = one per core; reports are identical at any count)",
+    )
+    parser.add_argument(
+        "--digest", action="store_true",
+        help="print 'DIGEST <sha256>' over all scenario summaries, for "
+        "serial/parallel equivalence checks",
+    )
+    parser.add_argument(
+        "--timing-out", metavar="FILE", default=None,
+        help="write per-scenario timings + host metadata as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record an obs trace (health/failover/stall events included) "
+        "and export it as JSONL; tracing never changes the verdicts",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = (
+        smoke_scenarios(num_ops=min(args.ops, 500))
+        if args.smoke
+        else default_scenarios(num_ops=args.ops)
+    )
+    recorder = obs.install() if args.trace_out else None
+    report = run_soak(scenarios, seed=args.seed, workers=args.workers)
+    summary = report.summary()
+    print(summary)
+    print(f"scenarios exercised: {len(report.results)}")
+    if recorder is not None:
+        obs.uninstall()
+        recorder.export_jsonl(args.trace_out)
+        print(
+            f"trace: {recorder.total_events} events "
+            f"({recorder.dropped} dropped) -> {args.trace_out}"
+        )
+    if args.digest:
+        digest = hashlib.sha256(summary.encode()).hexdigest()
+        print(f"DIGEST {digest}")
+    if args.timing_out:
+        doc = {
+            "host": host_metadata(workers=args.workers),
+            "scenarios": [
+                {
+                    "name": r.scenario,
+                    "engine": r.engine,
+                    "seconds": round(s, 6),
+                    "ok": r.passed,
+                }
+                for r, s in zip(report.results, report.scenario_seconds)
+            ],
+        }
+        with open(args.timing_out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

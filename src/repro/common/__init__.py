@@ -10,6 +10,8 @@ from repro.common.errors import (
     ReproError,
     KeyNotFoundError,
     CapacityError,
+    OutOfSpaceError,
+    DeviceOfflineError,
     CorruptionError,
     TransientIOError,
     PowerLossError,
@@ -36,6 +38,8 @@ __all__ = [
     "ReproError",
     "KeyNotFoundError",
     "CapacityError",
+    "OutOfSpaceError",
+    "DeviceOfflineError",
     "CorruptionError",
     "TransientIOError",
     "PowerLossError",

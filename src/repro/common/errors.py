@@ -13,6 +13,26 @@ class CapacityError(ReproError):
     """A device or tier ran out of space and could not reclaim enough."""
 
 
+class OutOfSpaceError(CapacityError):
+    """A page allocation could not be satisfied by the device's free pool.
+
+    The message always names the device, the requested page count, and the
+    pages still free, so the failing allocation is diagnosable from the
+    error alone.  Subclasses :class:`CapacityError` so existing callers
+    that degrade on capacity pressure keep working.
+    """
+
+
+class DeviceOfflineError(ReproError):
+    """An I/O was rejected because the device is in an OFFLINE health window.
+
+    Nothing was charged to the traffic ledger (the bus moved no bytes) and
+    no fault-injector counter advanced.  Engines with a failover policy
+    catch this and serve from the surviving tier; callers without one see
+    honest unavailability instead of silently stale data.
+    """
+
+
 class CorruptionError(ReproError):
     """On-media data failed a structural or checksum validation.
 

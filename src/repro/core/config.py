@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.common.errors import ConfigError
 from repro.common.keys import KeyRange
+from repro.health.admission import AdmissionConfig
 from repro.nvme.config import NVMeConfig
 
 KiB = 1024
@@ -43,6 +45,10 @@ class HyperDBConfig:
     #: a scan will touch as coalesced sequential reads.  Off by default to
     #: match the published system.
     enable_scan_prefetch: bool = False
+    #: Admission control (RocksDB-style write stalls keyed on partition
+    #: fill).  ``None`` — the default — disables backpressure entirely, so
+    #: existing benchmarks and digests are unchanged.
+    admission: Optional[AdmissionConfig] = None
     rng_seed: int = 0
 
     def __post_init__(self) -> None:

@@ -19,10 +19,14 @@ import numpy as np
 
 from repro import obs
 from repro.common.cache import LRUCache
+from repro.common.errors import DeviceOfflineError
 from repro.common.records import Record
 from repro.common.stats import StatsRegistry
 from repro.core.config import HyperDBConfig
 from repro.core.interface import KVStore
+from repro.health import admission as admission_mod
+from repro.health.admission import AdmissionController
+from repro.health.state import HealthState
 from repro.lsm.iterator import merge_records
 from repro.lsm.semi.engine import CapacityTier
 from repro.lsm.semi.levels import SemiLevelConfig
@@ -31,6 +35,7 @@ from repro.migration.scheduler import MigrationScheduler
 from repro.nvme.tier import PerformanceTier
 from repro.simssd.device import SimDevice
 from repro.simssd.fs import SimFilesystem
+from repro.simssd.traffic import TrafficKind
 
 
 class HyperDB(KVStore):
@@ -82,6 +87,11 @@ class HyperDB(KVStore):
             cache=self.cache,
         )
         self.migration = MigrationScheduler(self.performance_tier, self.capacity_tier)
+        self.admission = (
+            AdmissionController(config.admission)
+            if config.admission is not None
+            else None
+        )
         self.promotion = PromotionManager(
             self.performance_tier,
             cache_entries=config.nvme.object_cache_entries,
@@ -97,37 +107,108 @@ class HyperDB(KVStore):
     def put(self, key: bytes, value: bytes) -> float:
         """Insert or update: write to the NVMe tier, migrate if over watermark."""
         self.stats.counter("puts").add()
-        rec = Record(key, value, self.next_seqno())
-        partition = self.performance_tier.partition_for_key(key)
-        service = partition.put(rec)
-        self.promotion.invalidate(key)
-        if partition.over_high_watermark():
-            self.migration.run_if_needed()
-        return service
+        return self._write_record(Record(key, value, self.next_seqno()))
 
     def delete(self, key: bytes) -> float:
         """Delete by writing a tombstone object into the NVMe tier; it
         shadows any SATA copy and migrates down like a normal object."""
         self.stats.counter("deletes").add()
-        rec = Record.tombstone(key, self.next_seqno())
-        partition = self.performance_tier.partition_for_key(key)
-        service = partition.put(rec)
-        self.promotion.invalidate(key)
+        return self._write_record(Record.tombstone(key, self.next_seqno()))
+
+    def _write_record(self, rec: Record) -> float:
+        partition = self.performance_tier.partition_for_key(rec.key)
+        if self.nvme_device.health() is HealthState.OFFLINE:
+            return self._failover_write(partition, rec)
+        service = 0.0
+        if self.admission is not None:
+            service += self._admission_gate(partition)
+        service += partition.put(rec)
+        self.promotion.invalidate(rec.key)
         if partition.over_high_watermark():
             self.migration.run_if_needed()
+        if self.migration.has_catch_up and self.migration.capacity_online():
+            self.migration.run_catch_up()
+        return service
+
+    def _failover_write(self, partition, rec: Record) -> float:
+        """NVMe OFFLINE: route the write to the capacity tier directly.
+
+        The stale NVMe-resident copy (if any) is dropped from the in-memory
+        index — no device I/O — so it cannot shadow the newer SATA version
+        after recovery.  Promotions and migration stay paused; a SATA
+        outage overlapping an NVMe outage leaves nowhere to write, so the
+        ingest's :class:`DeviceOfflineError` propagates (the op is not
+        acked).
+        """
+        service = self.capacity_tier.ingest([rec], TrafficKind.FOREGROUND)
+        partition.drop_resident(rec.key)
+        self.promotion.invalidate(rec.key)
+        self.stats.counter("failover_writes").add()
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "failover", t=self.sata_device.busy_seconds(),
+                op="write", tier="sata",
+            )
+        return service
+
+    def _admission_gate(self, partition) -> float:
+        """RocksDB-style write backpressure keyed on partition fill.
+
+        SLOWDOWN charges a small deterministic stall; STOP first runs
+        migration inline (the simulated analogue of waiting for background
+        work) and charges the long stall.  Stall time lands on the NVMe
+        ledger via :meth:`SimDevice.charge_stall`, so throughput figures
+        reflect the backpressure.
+        """
+        verdict, trigger = self.admission.assess(fill=partition.fill_fraction)
+        if verdict == admission_mod.OK:
+            return 0.0
+        if verdict == admission_mod.STOP and self.migration.capacity_online():
+            self.migration.run_if_needed()
+        delay = self.admission.stall_s(verdict)
+        service = self.nvme_device.charge_stall(delay)
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "write_stall", t=self.nvme_device.busy_seconds(),
+                engine=self.name, verdict=verdict, trigger=trigger,
+                delay_s=delay, fill=round(partition.fill_fraction, 6),
+            )
         return service
 
     # --------------------------------------------------------------- read
 
     def get(self, key: bytes) -> tuple[Optional[bytes], float]:
-        """Point lookup: NVMe, then the promotion staging cache, then SATA."""
+        """Point lookup: NVMe, then the promotion staging cache, then SATA.
+
+        While the NVMe device is OFFLINE, reads fall through to the
+        capacity tier — *except* for keys whose only copy is a
+        non-promoted NVMe resident, which raise
+        :class:`DeviceOfflineError` (honest unavailability; serving the
+        older SATA version would be a stale read).  Promoted residents are
+        authoritative on SATA and fall through safely.
+        """
         self.stats.counter("gets").add()
         if not self.config.key_space.contains(key):
             return None, 0.0  # nothing outside the key space was ever stored
-        rec, service = self.performance_tier.get(key)
-        if rec is not None:
-            self.stats.counter("nvme_hits").add()
-            return (None if rec.is_tombstone else rec.value), service
+        service = 0.0
+        nvme_offline = self.nvme_device.health() is HealthState.OFFLINE
+        if nvme_offline:
+            partition = self.performance_tier.partition_for_key(key)
+            loc = partition.resident_location(key)
+            if loc is not None and not loc.promoted:
+                self.stats.counter("failover_blocked_reads").add()
+                raise DeviceOfflineError(
+                    f"key resident only on offline device "
+                    f"{self.nvme_device.profile.name!r}"
+                )
+            self.stats.counter("failover_reads").add()
+        else:
+            rec, service = self.performance_tier.get(key)
+            if rec is not None:
+                self.stats.counter("nvme_hits").add()
+                return (None if rec.is_tombstone else rec.value), service
 
         staged = self.promotion.lookup(key)
         if staged is not None:
@@ -141,11 +222,13 @@ class HyperDB(KVStore):
         self.stats.counter("sata_hits").add()
         if rec.is_tombstone:
             return None, service
-        # Promote if the tracker considers this object hot (§3.5).
-        partition = self.performance_tier.partition_for_key(key)
-        if partition.tracker.is_hot(key):
-            self.promotion.stage(rec)
-            self.stats.counter("promotions_staged").add()
+        # Promote if the tracker considers this object hot (§3.5) — but not
+        # while the fast tier is offline (nowhere to stage *to*).
+        if not nvme_offline:
+            partition = self.performance_tier.partition_for_key(key)
+            if partition.tracker.is_hot(key):
+                self.promotion.stage(rec)
+                self.stats.counter("promotions_staged").add()
         return rec.value, service
 
     def scan(self, start: bytes, count: int) -> tuple[list[tuple[bytes, bytes]], float]:

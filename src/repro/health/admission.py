@@ -1,0 +1,119 @@
+"""RocksDB-style write admission control (slowdown / stop triggers).
+
+Real RocksDB throttles foreground writes when background work falls behind:
+a *slowdown* trigger delays each write, a *stop* trigger stalls writes until
+compaction or flush catches up.  The reproduction's background work runs
+synchronously inside the foreground call, so a stall cannot wait on an
+asynchronous thread — instead the engine (a) runs its catch-up work inline
+and (b) charges a deterministic stall delay to the traffic ledger, so the
+throughput cost of backpressure is visible in simulated time exactly like
+retry backoff is.
+
+The controller itself is engine-agnostic: engines feed it whatever signals
+they have (memtable count, L0 file count, partition fill fraction) and
+charge the delay it returns.  Disabled (``None`` config) it costs nothing
+and changes nothing — the default everywhere, so pre-existing digests and
+benchmarks are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Admission verdicts, ordered by severity.
+OK = "ok"
+SLOWDOWN = "slowdown"
+STOP = "stop"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Thresholds and stall charges for write backpressure.
+
+    Defaults mirror RocksDB's shape (slowdown well before stop) scaled to
+    the reproduction's tiny geometry.  A threshold of ``None`` disables
+    that trigger.
+    """
+
+    #: Memtable-count triggers (active + immutable, RocksDB's
+    #: ``max_write_buffer_number`` family).
+    slowdown_memtables: Optional[int] = 3
+    stop_memtables: Optional[int] = 5
+    #: L0 file-count triggers (``level0_slowdown_writes_trigger`` /
+    #: ``level0_stop_writes_trigger``).
+    slowdown_l0_files: Optional[int] = 8
+    stop_l0_files: Optional[int] = 12
+    #: Partition / tier fill-fraction triggers (HyperDB's analogue: demotion
+    #: is the background work that reclaims fill above ``high_watermark``).
+    slowdown_fill: Optional[float] = 0.94
+    stop_fill: Optional[float] = 0.98
+    #: Simulated seconds charged per stalled write.
+    slowdown_delay_s: float = 1e-4
+    stop_delay_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for lo, hi, what in (
+            (self.slowdown_memtables, self.stop_memtables, "memtables"),
+            (self.slowdown_l0_files, self.stop_l0_files, "l0_files"),
+            (self.slowdown_fill, self.stop_fill, "fill"),
+        ):
+            if lo is not None and hi is not None and hi < lo:
+                raise ValueError(f"stop_{what} must be >= slowdown_{what}")
+        if self.slowdown_delay_s < 0 or self.stop_delay_s < 0:
+            raise ValueError("stall delays must be non-negative")
+
+
+@dataclass
+class AdmissionStats:
+    """What backpressure actually did (public, for tests and reports)."""
+
+    slowdowns: int = 0
+    stops: int = 0
+    stall_seconds: float = 0.0
+
+
+class AdmissionController:
+    """Classifies write pressure and meters out deterministic stall time."""
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.stats = AdmissionStats()
+
+    def assess(
+        self,
+        memtables: int = 0,
+        l0_files: int = 0,
+        fill: float = 0.0,
+    ) -> Tuple[str, Optional[str]]:
+        """Return ``(verdict, trigger)`` for the current pressure signals.
+
+        The most severe matching trigger wins; the trigger name says which
+        signal fired, so stall events are attributable.
+        """
+        cfg = self.config
+        checks = (
+            ("memtables", memtables, cfg.slowdown_memtables, cfg.stop_memtables),
+            ("l0_files", l0_files, cfg.slowdown_l0_files, cfg.stop_l0_files),
+            ("fill", fill, cfg.slowdown_fill, cfg.stop_fill),
+        )
+        verdict, trigger = OK, None
+        for name, value, slow_at, stop_at in checks:
+            if stop_at is not None and value >= stop_at:
+                return STOP, name
+            if verdict is OK and slow_at is not None and value >= slow_at:
+                verdict, trigger = SLOWDOWN, name
+        return verdict, trigger
+
+    def stall_s(self, verdict: str) -> float:
+        """Charge one stall of the given severity; returns the delay."""
+        if verdict == SLOWDOWN:
+            self.stats.slowdowns += 1
+            delay = self.config.slowdown_delay_s
+        elif verdict == STOP:
+            self.stats.stops += 1
+            delay = self.config.stop_delay_s
+        else:
+            return 0.0
+        self.stats.stall_seconds += delay
+        return delay

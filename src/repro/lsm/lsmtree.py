@@ -22,6 +22,8 @@ from repro.common.cache import LRUCache
 from repro.common.errors import ConfigError, CorruptionError
 from repro.common.records import Record
 from repro.common.stats import StatsRegistry
+from repro.health import admission as admission_mod
+from repro.health.admission import AdmissionConfig, AdmissionController
 from repro.lsm.compaction import LeveledCompactor
 from repro.lsm.iterator import merge_records
 from repro.lsm.manifest import (
@@ -63,6 +65,10 @@ class LSMOptions:
     #: Off by default: the paper's benchmark configuration does not model
     #: metadata journaling, and manifest writes are real charged I/O.
     manifest_enabled: bool = False
+    #: RocksDB-style write stalls (slowdown/stop triggers on memtable count
+    #: and L0 file count).  ``None`` — the default — disables backpressure,
+    #: so existing benchmarks and digests are unchanged.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.memtable_bytes <= 0 or self.table_size_bytes <= 0:
@@ -146,6 +152,11 @@ class LSMTree:
             on_install=self._write_manifest if opts.manifest_enabled else None,
         )
 
+        self.admission = (
+            AdmissionController(opts.admission)
+            if opts.admission is not None
+            else None
+        )
         self._seqno = 0
         self._memtable = MemTable(opts.memtable_bytes)
         self._immutables: list[MemTable] = []
@@ -359,6 +370,8 @@ class LSMTree:
 
     def _write(self, rec: Record) -> float:
         service = 0.0
+        if self.admission is not None:
+            service += self._admission_gate()
         if self.wal is not None:
             service += self.wal.append(rec)
         self._memtable.put(rec)
@@ -366,6 +379,39 @@ class LSMTree:
         if self._memtable.is_full:
             service += self.flush()
         self.last_op_service = service
+        return service
+
+    def _admission_gate(self) -> float:
+        """RocksDB-style write backpressure on memtable and L0 pressure.
+
+        SLOWDOWN charges a short deterministic stall; STOP first runs
+        compaction (the simulated analogue of waiting for background work
+        to drain) and charges the long stall.  Stall time lands on the
+        first level's device ledger via :meth:`SimDevice.charge_stall`.
+        """
+        memtables = 1 + len(self._immutables)
+        l0_files = (
+            len(self.version.level(0).tables)
+            if self.options.first_level == 0
+            else 0
+        )
+        verdict, trigger = self.admission.assess(
+            memtables=memtables, l0_files=l0_files
+        )
+        if verdict == admission_mod.OK:
+            return 0.0
+        if verdict == admission_mod.STOP:
+            self.maybe_compact()
+        delay = self.admission.stall_s(verdict)
+        dev = self.fs_for_level(self.options.first_level).device
+        service = dev.charge_stall(delay)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.emit(
+                "write_stall", t=dev.busy_seconds(),
+                engine="lsm", verdict=verdict, trigger=trigger,
+                delay_s=delay, memtables=memtables, l0_files=l0_files,
+            )
         return service
 
     def flush(self) -> float:
@@ -385,16 +431,21 @@ class LSMTree:
                 "flush", t=flush_dev.busy_seconds(),
                 records=len(self._memtable), bytes=self._memtable.size_bytes,
             )
-        if self.wal is not None:
-            self.wal.sync()
-        imm = self._memtable
-        self._memtable = MemTable(self.options.memtable_bytes, seed=self._table_seq + 1)
-        self._immutables.append(imm)
-        service = self._flush_immutables()
-        service += self._write_manifest()
-        if self.wal is not None:
-            self.wal.reset()
-        self.maybe_compact()
+        # One health epoch around the whole flush: an OFFLINE device rejects
+        # it atomically before the memtable rotates or any table is built.
+        with flush_dev.health_epoch:
+            if self.wal is not None:
+                self.wal.sync()
+            imm = self._memtable
+            self._memtable = MemTable(
+                self.options.memtable_bytes, seed=self._table_seq + 1
+            )
+            self._immutables.append(imm)
+            service = self._flush_immutables()
+            service += self._write_manifest()
+            if self.wal is not None:
+                self.wal.reset()
+            self.maybe_compact()
         if rec is not None:
             rec.end("flush", t=flush_dev.busy_seconds())
         return service
@@ -473,23 +524,27 @@ class LSMTree:
             return 0.0
         first = self.options.first_level
         fs = self.fs_for_level(first)
-        busy_before = fs.device.busy_seconds()
-        for rec in records:
-            if rec.seqno > self._seqno:
-                self._seqno = rec.seqno
-        if first == 0:
-            builder = SSTableBuilder(
-                fs, self._next_table_id(), self.options.block_size, write_kind=kind
-            )
+        # Atomic under OFFLINE: the epoch rejects the batch at entry, before
+        # seqnos advance or any table mutates, so callers can requeue it.
+        with fs.device.health_epoch:
+            busy_before = fs.device.busy_seconds()
             for rec in records:
-                builder.add(rec)
-            self.version.add_table(0, builder.finish())
-            self._write_manifest()
-        else:
-            self._merge_into_sorted_level(first, records, kind)
-        service = fs.device.busy_seconds() - busy_before
-        self.maybe_compact()
-        return service
+                if rec.seqno > self._seqno:
+                    self._seqno = rec.seqno
+            if first == 0:
+                builder = SSTableBuilder(
+                    fs, self._next_table_id(), self.options.block_size,
+                    write_kind=kind,
+                )
+                for rec in records:
+                    builder.add(rec)
+                self.version.add_table(0, builder.finish())
+                self._write_manifest()
+            else:
+                self._merge_into_sorted_level(first, records, kind)
+            service = fs.device.busy_seconds() - busy_before
+            self.maybe_compact()
+            return service
 
     def maybe_compact(self, max_rounds: int = 64) -> int:
         return self.compactor.maybe_compact(max_rounds)

@@ -54,28 +54,34 @@ class CapacityTier:
         ``records`` need not be sorted; they are grouped by L1 segment.
         Returns the service time charged for the L1 merge (compaction time
         is background and accounted on the device).
+
+        The whole merge-and-rebalance runs inside one device health epoch:
+        an OFFLINE capacity device rejects the batch atomically at entry
+        (``DeviceOfflineError`` before any table mutates), so callers can
+        requeue the batch without worrying about split state.
         """
         if not records:
             return 0.0
-        by_segment: dict[int, list[Record]] = {}
-        lvl1 = self.levels.level(1)
-        for rec in records:
-            by_segment.setdefault(lvl1.segment_of(rec.key), []).append(rec)
-        service = 0.0
-        for seg, recs in sorted(by_segment.items()):
-            recs.sort(key=lambda r: r.key)
-            deduped = [recs[0]]
-            for rec in recs[1:]:
-                if rec.key == deduped[-1].key:
-                    if rec.seqno > deduped[-1].seqno:
-                        deduped[-1] = rec
-                else:
-                    deduped.append(rec)
-            table = self.levels.table_for_key(1, deduped[0].key, create=True)
-            service += table.merge_append(deduped, kind)
-            self.compactor._maybe_full_compact(table)
-        self.compactor.maybe_compact()
-        return service
+        with self.fs.device.health_epoch:
+            by_segment: dict[int, list[Record]] = {}
+            lvl1 = self.levels.level(1)
+            for rec in records:
+                by_segment.setdefault(lvl1.segment_of(rec.key), []).append(rec)
+            service = 0.0
+            for seg, recs in sorted(by_segment.items()):
+                recs.sort(key=lambda r: r.key)
+                deduped = [recs[0]]
+                for rec in recs[1:]:
+                    if rec.key == deduped[-1].key:
+                        if rec.seqno > deduped[-1].seqno:
+                            deduped[-1] = rec
+                    else:
+                        deduped.append(rec)
+                table = self.levels.table_for_key(1, deduped[0].key, create=True)
+                service += table.merge_append(deduped, kind)
+                self.compactor._maybe_full_compact(table)
+            self.compactor.maybe_compact()
+            return service
 
     # -------------------------------------------------------------- reads
 

@@ -174,36 +174,43 @@ class Partition:
     def put(
         self, rec: Record, kind: TrafficKind = TrafficKind.FOREGROUND
     ) -> float:
-        """Insert or update an object.  Returns the service time charged."""
+        """Insert or update an object.  Returns the service time charged.
+
+        Runs inside a device health epoch: the tombstone-then-rewrite path
+        (and any zone split it triggers) must not be torn by a health
+        window opening between its I/Os.
+        """
         self.tracker.record_access(rec.key)
-        service = 0.0
-        loc: Optional[SlotLocation] = self.index.get(rec.key)
-        needed = rec.encoded_size
-        if loc is not None and needed <= loc.slot_size:
-            zone = self._zone_by_id(loc.zone_id)
-            new_loc, s = zone.update_in_place(loc, rec, kind, self.cache)
-            # An updated object diverges from its SATA copy: it can no longer
-            # be dropped on eviction, so the promotion label is cleared.
-            new_loc.promoted = False
+        with self.page_store.device.health_epoch:
+            service = 0.0
+            loc: Optional[SlotLocation] = self.index.get(rec.key)
+            needed = rec.encoded_size
+            if loc is not None and needed <= loc.slot_size:
+                zone = self._zone_by_id(loc.zone_id)
+                new_loc, s = zone.update_in_place(loc, rec, kind, self.cache)
+                # An updated object diverges from its SATA copy: it can no
+                # longer be dropped on eviction, so the promotion label is
+                # cleared.
+                new_loc.promoted = False
+                self.index.insert(rec.key, new_loc)
+                self._written_bytes += needed
+                self._written_objects += 1
+                return s
+            # New object, or resized: new slot, tombstone at the old location.
+            if loc is not None:
+                old_zone = self._zone_by_id(loc.zone_id)
+                service += old_zone.write_tombstone(loc, kind, self.cache)
+                old_zone.remove_object(rec.key, loc)
+            zone = self.zone_for_key(rec.key)
+            slot_size = self.config.slot_class_for(needed)
+            new_loc, s = zone.write_record(rec, slot_size, kind, self.cache)
+            service += s
             self.index.insert(rec.key, new_loc)
             self._written_bytes += needed
             self._written_objects += 1
-            return s
-        # New object, or resized: new slot, tombstone at the old location.
-        if loc is not None:
-            old_zone = self._zone_by_id(loc.zone_id)
-            service += old_zone.write_tombstone(loc, kind, self.cache)
-            old_zone.remove_object(rec.key, loc)
-        zone = self.zone_for_key(rec.key)
-        slot_size = self.config.slot_class_for(needed)
-        new_loc, s = zone.write_record(rec, slot_size, kind, self.cache)
-        service += s
-        self.index.insert(rec.key, new_loc)
-        self._written_bytes += needed
-        self._written_objects += 1
-        self._maybe_calibrate_tracker()
-        self._maybe_split_zone(zone)
-        return service
+            self._maybe_calibrate_tracker()
+            self._maybe_split_zone(zone)
+            return service
 
     def delete(self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND) -> float:
         """Remove an object (tombstone the slot, drop the index entry)."""
@@ -241,6 +248,25 @@ class Partition:
     def contains(self, key: bytes) -> bool:
         return key in self.index
 
+    def resident_location(self, key: bytes) -> Optional[SlotLocation]:
+        """Index-only residency peek: no device I/O, no tracker access."""
+        return self.index.get(key)
+
+    def drop_resident(self, key: bytes) -> bool:
+        """Forget a resident object without touching the device.
+
+        Used by failover writes while the NVMe device is OFFLINE: the new
+        version lands in the capacity tier, and the stale resident copy must
+        not shadow it after recovery.  Slot and page bookkeeping are
+        in-memory (frees charge no I/O), so this is legal mid-outage.
+        """
+        loc: Optional[SlotLocation] = self.index.get(key)
+        if loc is None:
+            return False
+        self._zone_by_id(loc.zone_id).remove_object(key, loc)
+        self.index.delete(key)
+        return True
+
     def keys_in_range(self, start: bytes, end: Optional[bytes]) -> list[bytes]:
         """Index-only ordered key listing (used by scans)."""
         return [k for k, _ in self.index.items(start=start, end=end)]
@@ -256,15 +282,16 @@ class Partition:
         existing: Optional[SlotLocation] = self.index.get(rec.key)
         if existing is not None:
             return 0.0  # already resident
-        slot_size = self.config.slot_class_for(rec.encoded_size)
-        loc, service = self.hot_zone.write_record(
-            rec, slot_size, kind, self.cache, promoted=True
-        )
-        self.index.insert(rec.key, loc)
-        self._written_bytes += rec.encoded_size
-        self._written_objects += 1
-        service += self._evict_hot_zone_if_needed(kind)
-        return service
+        with self.page_store.device.health_epoch:
+            slot_size = self.config.slot_class_for(rec.encoded_size)
+            loc, service = self.hot_zone.write_record(
+                rec, slot_size, kind, self.cache, promoted=True
+            )
+            self.index.insert(rec.key, loc)
+            self._written_bytes += rec.encoded_size
+            self._written_objects += 1
+            service += self._evict_hot_zone_if_needed(kind)
+            return service
 
     def _hot_zone_page_budget(self) -> int:
         """The hot zone may grow into whatever the regular zones don't use
@@ -349,30 +376,35 @@ class Partition:
         Hot objects are parked in the hot zone instead of being returned
         (§3.2: "HyperDB does not migrate frequently accessed data").
         The zone's pages are freed and its read counter reset.
+
+        Runs inside a device health epoch so an NVMe health window cannot
+        tear a park (object removed from its zone but not yet rewritten).
         """
-        page_ids = zone.page_ids()
-        _, service = self.page_store.read_many(page_ids, kind)
-        demoted: list[Record] = []
-        for key in sorted(zone.keys):
-            loc: SlotLocation = self.index.get(key)
-            if loc is None or loc.zone_id != zone.zone_id:
-                continue
-            raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
-            rec = decode_one(raw)
-            rec = Record(key, rec.value, rec.seqno)
-            # Hot objects are parked rather than demoted, but only while the
-            # hot zone has budget — otherwise they migrate like anything else.
-            if (
-                self.tracker.is_hot(key)
-                and self.hot_zone.total_pages() < self._hot_zone_page_budget()
-            ):
-                service += self.park_in_hot_zone(rec, loc, kind)
-                continue
-            zone.remove_object(key, loc)
-            self.index.delete(key)
-            demoted.append(rec)
-        zone.reset_read_counter()
-        return demoted, service
+        with self.page_store.device.health_epoch:
+            page_ids = zone.page_ids()
+            _, service = self.page_store.read_many(page_ids, kind)
+            demoted: list[Record] = []
+            for key in sorted(zone.keys):
+                loc: SlotLocation = self.index.get(key)
+                if loc is None or loc.zone_id != zone.zone_id:
+                    continue
+                raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
+                rec = decode_one(raw)
+                rec = Record(key, rec.value, rec.seqno, rec.deleted)
+                # Hot objects are parked rather than demoted, but only while
+                # the hot zone has budget — otherwise they migrate like
+                # anything else.
+                if (
+                    self.tracker.is_hot(key)
+                    and self.hot_zone.total_pages() < self._hot_zone_page_budget()
+                ):
+                    service += self.park_in_hot_zone(rec, loc, kind)
+                    continue
+                zone.remove_object(key, loc)
+                self.index.delete(key)
+                demoted.append(rec)
+            zone.reset_read_counter()
+            return demoted, service
 
     # --------------------------------------------------------- checkpoint
 
@@ -380,7 +412,8 @@ class Partition:
         """Persist the index backup to NVMe (§3.1).  Returns service time."""
         from repro.nvme.checkpoint import PartitionCheckpoint
 
-        return PartitionCheckpoint.write(self)
+        with self.page_store.device.health_epoch:
+            return PartitionCheckpoint.write(self)
 
     def recover(self) -> float:
         """Rebuild in-memory index/zones from the last checkpoint.
@@ -454,7 +487,7 @@ class Partition:
                 continue
             raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
             rec = decode_one(raw)
-            rec = Record(key, rec.value, rec.seqno)
+            rec = Record(key, rec.value, rec.seqno, rec.deleted)
             target = left if key < median else right
             zone.remove_object(key, loc)
             new_loc, _ = target.write_record(

@@ -64,6 +64,8 @@ class PerfScale:
     par_cells: int = 4
     par_records: int = 1_000
     par_operations: int = 1_000
+    #: chaos_soak op-stream length (healthy + degraded passes).
+    chaos_ops: int = 600
 
     @classmethod
     def full(cls) -> "PerfScale":
@@ -81,6 +83,7 @@ class PerfScale:
             par_cells=4,
             par_records=2_000,
             par_operations=2_000,
+            chaos_ops=900,
         )
 
     @classmethod
@@ -99,6 +102,7 @@ class PerfScale:
             par_cells=3,
             par_records=500,
             par_operations=500,
+            chaos_ops=300,
         )
 
 
@@ -255,6 +259,21 @@ def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
     return BenchResult(scale.e2e_records + scale.e2e_operations, seconds)
 
 
+def bench_chaos_soak(scale: PerfScale) -> BenchResult:
+    """Degraded-mode soak: simulated ops/s healthy vs one-tier-degraded.
+
+    The extra dict records both simulated throughputs and their ratio, so
+    the trajectory shows what an NVMe outage window costs the foreground.
+    """
+    from repro.chaos.harness import measure_soak_throughput
+
+    n = scale.chaos_ops
+    t0 = time.perf_counter()
+    stats = measure_soak_throughput(num_ops=n, seed=0)
+    seconds = time.perf_counter() - t0
+    return BenchResult(2 * n, seconds, extra=stats)
+
+
 def _parallel_e2e_cell(records: int, operations: int, seed: int):
     """One independent fig8-style cell: load HyperDB, run YCSB-B, return
     the :class:`RunResult` (the fan-out unit of :func:`bench_parallel_e2e`)."""
@@ -345,6 +364,7 @@ _BENCHES: Dict[str, Callable[[PerfScale], BenchResult]] = {
     "lsm_get_put": bench_lsm_get_put,
     "interval_analysis": bench_interval_analysis,
     "ycsb_e2e": bench_ycsb_e2e,
+    "chaos_soak": bench_chaos_soak,
 }
 
 #: Benches that manage their own process pool (run in the parent even in

@@ -8,6 +8,7 @@ utilization, background-traffic, and throughput results in *simulated time*
 while remaining fast enough to run in pure Python.
 """
 
+from repro.health.state import HealthState, HealthWindow
 from repro.simssd.profiles import DeviceProfile, NVME_PROFILE, SATA_PROFILE
 from repro.simssd.traffic import TrafficKind, TrafficStats
 from repro.simssd.faults import FaultInjector, FaultPlan, RetryPolicy
@@ -22,6 +23,8 @@ __all__ = [
     "TrafficStats",
     "FaultInjector",
     "FaultPlan",
+    "HealthState",
+    "HealthWindow",
     "RetryPolicy",
     "SimDevice",
     "SimFile",

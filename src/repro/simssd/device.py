@@ -12,6 +12,15 @@ the traffic ledger exactly like a successful one (the bus moved the bytes),
 plus the backoff delay — and only an exhausted policy surfaces a
 :class:`repro.common.errors.TransientIOError`.  Injected power loss raises
 :class:`repro.common.errors.PowerLossError` and freezes the device.
+
+When the injector's plan schedules health windows
+(:class:`repro.health.state.HealthWindow`), the device additionally
+enforces them: during a ``BROWNOUT`` window every charge's latency and
+transfer time is scaled by the window's multiplier (the slowdown is real
+ledger time); during an ``OFFLINE`` window every I/O raises
+:class:`repro.common.errors.DeviceOfflineError` *before* anything is
+charged or any injector counter advances.  Health transitions observed by
+the device are emitted as typed ``health`` obs events.
 """
 
 from __future__ import annotations
@@ -19,10 +28,46 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import obs
-from repro.common.errors import CapacityError, TransientIOError
+from repro.common.errors import DeviceOfflineError, OutOfSpaceError, TransientIOError
+from repro.health.state import HealthState
 from repro.simssd.faults import FaultInjector, RetryPolicy
 from repro.simssd.profiles import DeviceProfile
 from repro.simssd.traffic import TrafficKind, TrafficStats
+
+
+class _HealthEpoch:
+    """Reusable context manager pinning a device's health for one operation.
+
+    Multi-I/O mutations (semi-table merges, zone demotions, checkpoint
+    images) are not prepared to lose the device halfway through: a health
+    window opening between two charged writes would tear their on-media
+    state.  An epoch evaluates health exactly once, at operation entry —
+    an OFFLINE window rejects the whole operation *before any mutation*,
+    and an observed BROWNOUT multiplier is pinned for the operation's
+    duration.  Outages therefore begin and end at operation boundaries,
+    never inside one; window boundary crossings take effect at the next
+    epoch (or un-pinned single I/O).  Epochs nest — only the outermost
+    consults the injector.
+    """
+
+    __slots__ = ("_device",)
+
+    def __init__(self, device: "SimDevice") -> None:
+        self._device = device
+
+    def __enter__(self) -> "SimDevice":
+        dev = self._device
+        if dev._epoch_depth == 0 and dev._health_guarded:
+            dev._pinned_health = dev._observe_health("begin", "epoch")
+        dev._epoch_depth += 1
+        return dev
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dev = self._device
+        dev._epoch_depth -= 1
+        if dev._epoch_depth == 0:
+            dev._pinned_health = None
+        return False
 
 
 class SimDevice:
@@ -52,6 +97,26 @@ class SimDevice:
         self.retry_policy = retry_policy or RetryPolicy()
         #: Extra I/O attempts issued because a transient fault was retried.
         self.retried_ios = 0
+        #: I/Os rejected because the device was in an OFFLINE window.
+        self.offline_rejections = 0
+        #: I/Os served (and surcharged) inside BROWNOUT windows.
+        self.brownout_ios = 0
+        #: Simulated seconds of admission-control stall charged to this
+        #: device's ledger via :meth:`charge_stall`.
+        self.stall_seconds = 0.0
+        self._last_health = HealthState.HEALTHY
+        #: True when health windows can apply to this device at all —
+        #: precomputed so the hot I/O paths pay one attribute test when the
+        #: feature is unused.
+        self._health_guarded = (
+            injector is not None and bool(injector.plan.health_windows)
+        )
+        #: ``(state, multiplier)`` pinned by an open health epoch, else None.
+        self._pinned_health: Optional[tuple[HealthState, float]] = None
+        self._epoch_depth = 0
+        #: Context manager bracketing one multi-I/O mutation: ``with
+        #: dev.health_epoch: ...`` — offline rejects atomically at entry.
+        self.health_epoch = _HealthEpoch(self)
         self._allocated_pages = 0
         # Page-charge memo: request shapes repeat millions of times across a
         # run, so (num_pages, sequential) -> (ios, latency, transfer) is
@@ -91,6 +156,64 @@ class SimDevice:
         if self.injector is not None:
             self.injector.check_power()
 
+    # ------------------------------------------------------------- health
+
+    def health(self) -> HealthState:
+        """Health the next I/O would see.  Pure peek: no events, no RNG."""
+        if not self._health_guarded:
+            return HealthState.HEALTHY
+        return self.injector.health_of(self.profile.name)[0]
+
+    def _consult_health(self, rw: str, lane: str) -> float:
+        """Health multiplier for one I/O; honours an open epoch's pin."""
+        pinned = self._pinned_health
+        if pinned is not None:
+            return pinned[1]
+        return self._observe_health(rw, lane)[1]
+
+    def _observe_health(self, rw: str, lane: str) -> tuple[HealthState, float]:
+        """Enforce the current health window; returns ``(state, multiplier)``.
+
+        Raises :class:`DeviceOfflineError` (charging nothing) when the
+        device is OFFLINE.  Emits a ``health`` obs event whenever the state
+        observed here differs from the last one observed, so traces show
+        the transition at the I/O that first saw it.
+        """
+        state, mult = self.injector.health_of(self.profile.name)
+        if state is not self._last_health:
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.emit(
+                    "health", t=self.traffic.busy_seconds(),
+                    device=self.profile.name, state=state.value,
+                    prev=self._last_health.value,
+                    io=self.injector.total_ios + 1,
+                )
+            self._last_health = state
+        if state is HealthState.OFFLINE:
+            self.offline_rejections += 1
+            raise DeviceOfflineError(
+                f"device {self.profile.name!r} offline: {rw} rejected at "
+                f"global I/O #{self.injector.total_ios + 1} ({lane})"
+            )
+        return state, mult
+
+    def charge_stall(
+        self, seconds: float, kind: TrafficKind = TrafficKind.FOREGROUND
+    ) -> float:
+        """Charge admission-control stall time to the ledger (no bytes move).
+
+        The delay lands in the lane's write-latency bucket so
+        ``busy_seconds`` — and therefore throughput figures — reflect the
+        backpressure, exactly like retry backoff reflects transient faults.
+        Returns ``seconds`` for convenient service-time accumulation.
+        """
+        if seconds <= 0:
+            return 0.0
+        self.traffic.note_write(kind, 0, 0, seconds, 0.0)
+        self.stall_seconds += seconds
+        return seconds
+
     # -------------------------------------------------------------- space
 
     @property
@@ -118,23 +241,27 @@ class SimDevice:
         return self._allocated_pages / self.profile.num_pages
 
     def allocate(self, num_pages: int) -> None:
-        """Reserve pages.  Raises :class:`CapacityError` when the device is full."""
+        """Reserve pages.  Raises :class:`OutOfSpaceError` when the device is full."""
         if num_pages < 0:
             raise ValueError(f"num_pages must be non-negative, got {num_pages}")
         if self._allocated_pages + num_pages > self.profile.num_pages:
-            raise CapacityError(
-                f"device {self.profile.name!r} full: "
-                f"{self._allocated_pages}+{num_pages} > {self.profile.num_pages} pages"
+            raise OutOfSpaceError(
+                f"device {self.profile.name!r} out of space: requested "
+                f"{num_pages} page(s), {self.free_pages} of "
+                f"{self.profile.num_pages} free"
             )
         self._allocated_pages += num_pages
 
     def trim(self, num_pages: int) -> None:
-        """Release pages back to the free pool."""
-        if num_pages < 0 or num_pages > self._allocated_pages:
-            raise ValueError(
-                f"cannot trim {num_pages} pages, {self._allocated_pages} allocated"
-            )
-        self._allocated_pages -= num_pages
+        """Release pages back to the free pool.
+
+        Over-trimming clamps at zero instead of underflowing: freeing paths
+        that race a degraded rebuild (which already released everything)
+        would otherwise corrupt the allocator on an innocent double-free.
+        """
+        if num_pages < 0:
+            raise ValueError(f"cannot trim a negative page count ({num_pages})")
+        self._allocated_pages = max(0, self._allocated_pages - num_pages)
 
     # ---------------------------------------------------------------- I/O
 
@@ -150,6 +277,12 @@ class SimDevice:
         if num_pages <= 0:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=False)
+        if self._health_guarded:
+            mult = self._consult_health("read", kind.value)
+            if mult != 1.0:
+                latency *= mult
+                transfer *= mult
+                self.brownout_ios += ios
         nbytes = num_pages * self.page_size
         rec = obs.RECORDER
         service = 0.0
@@ -174,7 +307,7 @@ class SimDevice:
             self.retried_ios += ios
             if rec is not None:
                 rec.emit(
-                    "retry", t=self.traffic.busy_seconds(),
+                    "retry_backoff", t=self.traffic.busy_seconds(),
                     device=self.profile.name, rw="read", lane=kind.value,
                     attempt=attempt, backoff_s=delay,
                 )
@@ -194,6 +327,12 @@ class SimDevice:
         if num_pages <= 0:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=True)
+        if self._health_guarded:
+            mult = self._consult_health("write", kind.value)
+            if mult != 1.0:
+                latency *= mult
+                transfer *= mult
+                self.brownout_ios += ios
         nbytes = num_pages * self.page_size
         rec = obs.RECORDER
         service = 0.0
@@ -218,7 +357,7 @@ class SimDevice:
             self.retried_ios += ios
             if rec is not None:
                 rec.emit(
-                    "retry", t=self.traffic.busy_seconds(),
+                    "retry_backoff", t=self.traffic.busy_seconds(),
                     device=self.profile.name, rw="write", lane=kind.value,
                     attempt=attempt, backoff_s=delay,
                 )

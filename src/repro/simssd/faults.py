@@ -39,6 +39,7 @@ from typing import Optional
 
 from repro import obs
 from repro.common.errors import PowerLossError
+from repro.health.state import HealthState, HealthWindow, resolve_health
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,12 @@ class FaultPlan:
         When True (default) the crashing write persists a seeded prefix of
         its bytes; when False it persists fully before power dies (a clean
         barrier, useful to isolate torn-tail handling from plain loss).
+    health_windows:
+        Scheduled outage/brownout windows
+        (:class:`repro.health.state.HealthWindow`), keyed on the injector's
+        *global* I/O ordinal — sustained service degradation, as opposed to
+        the one-shot faults above.  Devices consult :meth:`FaultInjector.
+        health_of` before charging each I/O.
     """
 
     seed: int = 0
@@ -77,6 +84,7 @@ class FaultPlan:
     bitflip_rate: float = 0.0
     crash_after_write_io: Optional[int] = None
     torn_write: bool = True
+    health_windows: tuple[HealthWindow, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "write_error_rate", "bitflip_rate"):
@@ -85,6 +93,10 @@ class FaultPlan:
                 raise ValueError(f"{name} must be in [0, 1), got {v}")
         if self.crash_after_write_io is not None and self.crash_after_write_io < 1:
             raise ValueError("crash_after_write_io is 1-based and must be >= 1")
+        if not isinstance(self.health_windows, tuple):
+            # Accept any iterable for convenience but store a hashable tuple
+            # (the plan is frozen and often used as a value object).
+            object.__setattr__(self, "health_windows", tuple(self.health_windows))
 
 
 class FaultInjector:
@@ -114,6 +126,30 @@ class FaultInjector:
     @property
     def transient_faults(self) -> int:
         return self.transient_read_faults + self.transient_write_faults
+
+    @property
+    def total_ios(self) -> int:
+        """Global I/O ordinal (reads + writes across all sharing devices).
+
+        This is the clock that :attr:`FaultPlan.health_windows` are keyed
+        on: traffic served by *any* device sharing this injector advances
+        it, so an offline device's window ends exactly when the surviving
+        tier has moved the scheduled amount of work.
+        """
+        return self.read_ios + self.write_ios
+
+    def health_of(self, device_name: str) -> tuple[HealthState, float]:
+        """Peek the health the *next* I/O on ``device_name`` would see.
+
+        Pure read: consumes no RNG, advances no counter, so engines can
+        consult it to decide failover before attempting an I/O.  Returns
+        ``(state, latency_multiplier)``.
+        """
+        if not self.plan.health_windows:
+            return HealthState.HEALTHY, 1.0
+        return resolve_health(
+            self.plan.health_windows, device_name, self.total_ios + 1
+        )
 
     def _budget_left(self) -> bool:
         cap = self.plan.max_transient_faults

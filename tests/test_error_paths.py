@@ -167,11 +167,13 @@ class TestCheckpointStructuralErrors:
 
 
 class TestDeviceTrimBounds:
-    def test_trim_more_than_allocated(self):
+    def test_trim_more_than_allocated_clamps(self):
         dev = device()
         dev.allocate(4)
-        with pytest.raises(ValueError):
-            dev.trim(5)
+        dev.trim(5)
+        assert dev.allocated_pages == 0
+        dev.trim(1)  # idempotent once empty
+        assert dev.allocated_pages == 0
 
     def test_trim_negative(self):
         dev = device()

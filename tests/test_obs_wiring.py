@@ -218,12 +218,14 @@ class TestFaultEvents:
         dev.write_pages(2, TrafficKind.WAL)
         obs.uninstall()
         faults = [e for e in rec.events() if e.type == "fault"]
-        retries = [e for e in rec.events() if e.type == "retry"]
+        retries = [e for e in rec.events() if e.type == "retry_backoff"]
         assert len(faults) == 1
         assert faults[0].t is None  # the injector has no clock
         assert faults[0].data["rw"] == "write"
         assert len(retries) == 1
         assert retries[0].data["lane"] == "wal"
+        assert retries[0].data["attempt"] == 0
+        assert retries[0].data["backoff_s"] > 0  # the charged seconds
         assert retries[0].t is not None
 
     def test_crash_event_on_power_loss(self):

@@ -79,8 +79,25 @@ class TestSimDevice:
         d.allocate(10)
         d.trim(4)
         assert d.allocated_pages == 6
-        with pytest.raises(ValueError):
-            d.trim(7)
+        # Over-trim clamps at zero (double-free during degraded rebuild
+        # must not underflow the allocator).
+        d.trim(7)
+        assert d.allocated_pages == 0
+
+    def test_allocate_out_of_space_message(self):
+        from repro.common.errors import OutOfSpaceError
+
+        d = SimDevice(tiny_profile())  # 64 pages
+        d.allocate(60)
+        with pytest.raises(OutOfSpaceError) as exc:
+            d.allocate(10)
+        msg = str(exc.value)
+        assert "'tiny'" in msg          # device name
+        assert "10 page(s)" in msg      # requested
+        assert "4 of 64 free" in msg    # free pages
+        # Still a CapacityError for callers that degrade on capacity.
+        assert isinstance(exc.value, CapacityError)
+        assert d.allocated_pages == 60  # failed allocation changed nothing
 
     def test_fill_fraction(self):
         d = SimDevice(tiny_profile())
