@@ -8,6 +8,16 @@ stays readable with its latest value across failover and recovery.
 Run it with ``python -m repro.chaos`` (see ``--help``).
 """
 
+from repro.chaos.cluster import (
+    ClusterScenario,
+    ClusterSoakReport,
+    ClusterSoakResult,
+    NodeWindowSpec,
+    default_cluster_scenarios,
+    run_cluster_scenario,
+    run_cluster_soak,
+    smoke_cluster_scenarios,
+)
 from repro.chaos.harness import (
     ChaosScenario,
     SoakReport,
@@ -21,11 +31,19 @@ from repro.chaos.harness import (
 
 __all__ = [
     "ChaosScenario",
+    "ClusterScenario",
+    "ClusterSoakReport",
+    "ClusterSoakResult",
+    "NodeWindowSpec",
     "SoakReport",
     "SoakResult",
     "WindowSpec",
+    "default_cluster_scenarios",
     "default_scenarios",
+    "run_cluster_scenario",
+    "run_cluster_soak",
     "run_scenario",
     "run_soak",
+    "smoke_cluster_scenarios",
     "smoke_scenarios",
 ]

@@ -15,6 +15,12 @@ worker count — CI asserts the digest matches the serial run)::
 
     PYTHONPATH=src python -m repro.chaos --workers 2 --digest
 
+The sharded-cluster matrix (node outage, rolling brownouts, outage during
+rebalance, graceful drain, strict quorums) instead of the single-node
+tier matrix::
+
+    PYTHONPATH=src python -m repro.chaos --cluster
+
 Exit status is non-zero when any scenario's integrity oracle fails.
 """
 
@@ -26,6 +32,11 @@ import json
 import sys
 
 from repro import obs
+from repro.chaos.cluster import (
+    default_cluster_scenarios,
+    run_cluster_soak,
+    smoke_cluster_scenarios,
+)
 from repro.chaos.harness import default_scenarios, run_soak, smoke_scenarios
 from repro.parallel import host_metadata
 
@@ -44,6 +55,13 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the short CI scenario set instead of the full matrix",
+    )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run the sharded-cluster scenario matrix (quorum writes, node "
+        "failover, hinted handoff, rebalance) instead of the single-node "
+        "tier matrix",
     )
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -66,13 +84,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    scenarios = (
-        smoke_scenarios(num_ops=min(args.ops, 500))
-        if args.smoke
-        else default_scenarios(num_ops=args.ops)
-    )
+    if args.cluster:
+        # Cluster ops fan out to RF replicas each, so the default op count
+        # is scaled down to keep run time comparable to the tier matrix.
+        ops = args.ops if args.ops != 900 else 400
+        scenarios = (
+            smoke_cluster_scenarios(num_ops=min(ops, 300))
+            if args.smoke
+            else default_cluster_scenarios(num_ops=ops)
+        )
+        run = run_cluster_soak
+    else:
+        scenarios = (
+            smoke_scenarios(num_ops=min(args.ops, 500))
+            if args.smoke
+            else default_scenarios(num_ops=args.ops)
+        )
+        run = run_soak
     recorder = obs.install() if args.trace_out else None
-    report = run_soak(scenarios, seed=args.seed, workers=args.workers)
+    report = run(scenarios, seed=args.seed, workers=args.workers)
     summary = report.summary()
     print(summary)
     print(f"scenarios exercised: {len(report.results)}")
@@ -92,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
             "scenarios": [
                 {
                     "name": r.scenario,
-                    "engine": r.engine,
+                    "engine": getattr(r, "engine", "cluster"),
                     "seconds": round(s, 6),
                     "ok": r.passed,
                 }

@@ -1,0 +1,552 @@
+"""Cluster chaos: node outages, rolling brownouts, outage during rebalance.
+
+Lifts the single-node soak's discipline to cluster granularity.  Each
+scenario drives a deterministic mixed op stream through a
+:class:`repro.cluster.HyperDBCluster` whose node health windows are keyed
+on the cluster op clock (fractions of the op stream — no probe run
+needed), optionally joins or drains a node mid-stream, pumps writes until
+every node is healthy again, force-drains hinted handoff, and then runs
+the **cluster-wide integrity oracle**:
+
+* every *quorum-acked* write reads back under ``read_full`` with exactly
+  its latest acked value — or a provably *newer* value from a concurrent
+  sub-quorum write (counted ``indeterminate``, standard leaderless
+  semantics), never an older one and never nothing;
+* a sub-quorum rejection (:class:`repro.common.errors.QuorumError`) is
+  unavailability, never loss: the op was not acked, so the oracle's
+  expected state does not advance (partially landed values enter a
+  per-key *maybe* set, since newest-wins resolution may surface them);
+* after verification every surviving replica of every acked key holds an
+  identical envelope (read repair + hint replay converged the cluster).
+
+Scenarios are independent and fully seeded, so fanning them across
+worker processes via :mod:`repro.parallel` yields byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.harness import _ops_stream
+from repro.cluster import ClusterConfig, HyperDBCluster
+from repro.common.errors import QuorumError
+from repro.common.keys import encode_key
+from repro.health.state import HealthState, HealthWindow
+from repro.parallel import Job, run_jobs
+from repro.parallel.pool import unwrap_all
+
+_PUMP_KEY_BASE = 40_000
+
+
+# ---------------------------------------------------------------- scenarios
+
+
+@dataclass(frozen=True)
+class NodeWindowSpec:
+    """A node health window positioned at fractions of the op stream."""
+
+    node: str
+    state: HealthState
+    start_frac: float
+    end_frac: float
+    latency_multiplier: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One seeded cluster soak: topology, quorums, windows, membership."""
+
+    name: str
+    num_ops: int
+    num_nodes: int = 3
+    replication_factor: int = 3
+    read_quorum: int = 2
+    write_quorum: int = 2
+    windows: tuple[NodeWindowSpec, ...] = ()
+    #: Node to join mid-stream (triggers a live rebalance), and when.
+    join_node: Optional[str] = None
+    join_frac: float = 0.0
+    #: Node to gracefully drain mid-stream, and when.
+    leave_node: Optional[str] = None
+    leave_frac: float = 0.0
+
+    def config(self) -> ClusterConfig:
+        return ClusterConfig(
+            num_nodes=self.num_nodes,
+            replication_factor=self.replication_factor,
+            read_quorum=self.read_quorum,
+            write_quorum=self.write_quorum,
+        )
+
+
+def default_cluster_scenarios(num_ops: int = 400) -> list[ClusterScenario]:
+    """The cluster matrix: outage, rolling brownouts, outage-in-rebalance,
+    and a graceful drain."""
+    return [
+        ClusterScenario(
+            name="cluster-node-outage",
+            num_ops=num_ops,
+            windows=(
+                NodeWindowSpec("node-1", HealthState.OFFLINE, 0.30, 0.55),
+            ),
+        ),
+        ClusterScenario(
+            name="cluster-rolling-brownouts",
+            num_ops=num_ops,
+            windows=(
+                NodeWindowSpec("node-0", HealthState.BROWNOUT, 0.10, 0.35, 4.0),
+                NodeWindowSpec("node-1", HealthState.BROWNOUT, 0.30, 0.55, 6.0),
+                NodeWindowSpec("node-2", HealthState.BROWNOUT, 0.50, 0.75, 4.0),
+            ),
+        ),
+        ClusterScenario(
+            name="cluster-outage-during-rebalance",
+            num_ops=num_ops,
+            join_node="node-3",
+            join_frac=0.40,
+            windows=(
+                NodeWindowSpec("node-1", HealthState.OFFLINE, 0.45, 0.70),
+            ),
+        ),
+        ClusterScenario(
+            name="cluster-node-drain",
+            num_ops=num_ops,
+            num_nodes=4,
+            leave_node="node-3",
+            leave_frac=0.50,
+        ),
+        # W=RF: any node outage makes writes sub-quorum — the path where
+        # rejections must surface as unavailability (and partially landed
+        # values as indeterminate reads), never as loss.
+        ClusterScenario(
+            name="cluster-strict-quorum-outage",
+            num_ops=num_ops,
+            read_quorum=1,
+            write_quorum=3,
+            windows=(
+                NodeWindowSpec("node-2", HealthState.OFFLINE, 0.35, 0.60),
+            ),
+        ),
+    ]
+
+
+def smoke_cluster_scenarios(num_ops: int = 300) -> list[ClusterScenario]:
+    """CI configuration: one outage + one outage-during-rebalance."""
+    full = {s.name: s for s in default_cluster_scenarios(num_ops)}
+    return [
+        full["cluster-node-outage"],
+        full["cluster-outage-during-rebalance"],
+    ]
+
+
+def _resolve_node_windows(
+    scenario: ClusterScenario,
+) -> tuple[HealthWindow, ...]:
+    """Node windows over 1-based cluster op ordinals (no probe needed:
+    the cluster clock ticks exactly once per client op)."""
+    out = []
+    for spec in scenario.windows:
+        start = max(1, int(scenario.num_ops * spec.start_frac))
+        end = max(start + 1, int(scenario.num_ops * spec.end_frac))
+        out.append(
+            HealthWindow(
+                device=spec.node,
+                state=spec.state,
+                start_io=start,
+                end_io=end,
+                latency_multiplier=spec.latency_multiplier,
+            )
+        )
+    return tuple(out)
+
+
+# ---------------------------------------------------------------- reporting
+
+
+@dataclass
+class ClusterSoakResult:
+    """Outcome of one cluster chaos scenario."""
+
+    scenario: str
+    ops_issued: int = 0
+    writes_acked: int = 0
+    reads_ok: int = 0
+    indeterminate_reads: int = 0
+    unavailable_writes: int = 0
+    unavailable_reads: int = 0
+    partial_writes: int = 0
+    hints_stored: int = 0
+    hints_replayed: int = 0
+    hints_obsolete: int = 0
+    read_repairs: int = 0
+    rebalanced_keys: int = 0
+    rebalance_jobs: int = 0
+    offline_rejections: dict[str, int] = field(default_factory=dict)
+    brownout_ops: dict[str, int] = field(default_factory=dict)
+    pump_ops: int = 0
+    lost_writes: int = 0
+    stale_reads: int = 0
+    resurrections: int = 0
+    divergent_replicas: int = 0
+    keys_verified: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            not self.violations
+            and self.lost_writes == 0
+            and self.stale_reads == 0
+            and self.resurrections == 0
+            and self.divergent_replicas == 0
+            and self.keys_verified > 0
+        )
+
+    def summary(self) -> str:
+        status = "ok " if self.passed else "FAIL"
+        reject = ",".join(
+            f"{n}={c}" for n, c in sorted(self.offline_rejections.items()) if c
+        ) or "none"
+        brown = ",".join(
+            f"{n}={c}" for n, c in sorted(self.brownout_ops.items()) if c
+        ) or "none"
+        lines = [
+            f"[{self.scenario}] {status} {self.ops_issued} ops "
+            f"({self.writes_acked} writes acked, {self.reads_ok} reads ok, "
+            f"{self.indeterminate_reads} indeterminate, "
+            f"{self.unavailable_reads}r/{self.unavailable_writes}w unavailable, "
+            f"{self.partial_writes} partial), {self.keys_verified} keys verified "
+            f"(lost={self.lost_writes} stale={self.stale_reads} "
+            f"resurrected={self.resurrections} divergent={self.divergent_replicas})",
+            f"  replication: hints stored={self.hints_stored} "
+            f"replayed={self.hints_replayed} obsolete={self.hints_obsolete} "
+            f"read_repairs={self.read_repairs} "
+            f"rebalanced={self.rebalanced_keys} over {self.rebalance_jobs} job(s)",
+            f"  nodes: offline_rejections[{reject}] brownout_ops[{brown}] "
+            f"pump_ops={self.pump_ops}",
+        ]
+        for v in self.violations:
+            lines.append(f"  VIOLATION: {v}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ClusterSoakReport:
+    """All cluster scenarios of one chaos run."""
+
+    results: list[ClusterSoakResult] = field(default_factory=list)
+    scenario_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.results) and all(r.passed for r in self.results)
+
+    def summary(self) -> str:
+        return "\n".join(r.summary() for r in self.results)
+
+
+# --------------------------------------------------------------- the oracle
+
+
+_MISSING = object()
+
+
+class _Oracle:
+    """Expected state per key: last acked value + unacked *maybe* values.
+
+    ``expected[key]`` is the latest quorum-acked payload (``None`` for an
+    acked delete).  ``maybe[key]`` holds payloads of writes that failed
+    their quorum but landed on >= 1 replica *after* the last ack — a read
+    returning one of those is legal (the write may yet win newest-wins
+    resolution) but counted separately; acking a new write clears them.
+    """
+
+    def __init__(self) -> None:
+        self.expected: dict[bytes, Optional[bytes]] = {}
+        self.maybe: dict[bytes, set] = {}
+
+    def acked(self, key: bytes, value: Optional[bytes]) -> None:
+        self.expected[key] = value
+        self.maybe.pop(key, None)
+
+    def partial(self, key: bytes, value: Optional[bytes]) -> None:
+        self.maybe.setdefault(key, set()).add(value)
+
+    def classify(self, key: bytes, got: Optional[bytes], result, final: bool):
+        """Score one observed read against the expectation for ``key``."""
+        want = self.expected.get(key)
+        if got == want:
+            if final:
+                result.keys_verified += 1
+            else:
+                result.reads_ok += 1
+            return
+        if got in self.maybe.get(key, ()):
+            result.indeterminate_reads += 1
+            if final:
+                result.keys_verified += 1
+            return
+        if final:
+            result.keys_verified += 1
+        if want is None:
+            result.resurrections += 1
+        elif got is None:
+            result.lost_writes += 1
+        else:
+            result.stale_reads += 1
+
+
+# --------------------------------------------------------------------- soak
+
+
+def run_cluster_scenario(
+    scenario: ClusterScenario, seed: int = 0
+) -> ClusterSoakResult:
+    """Drive, pump to health, drain handoff, verify, audit replicas."""
+    result = ClusterSoakResult(scenario=scenario.name)
+    ops = _ops_stream(
+        seed * 1_000_003 + sum(scenario.name.encode()), scenario.num_ops
+    )
+    cluster = HyperDBCluster(
+        scenario.config(),
+        windows=_resolve_node_windows(scenario),
+        seed=seed,
+    )
+    oracle = _Oracle()
+
+    join_at = (
+        int(scenario.num_ops * scenario.join_frac)
+        if scenario.join_node is not None
+        else None
+    )
+    leave_at = (
+        int(scenario.num_ops * scenario.leave_frac)
+        if scenario.leave_node is not None
+        else None
+    )
+
+    for i, (op, key, val) in enumerate(ops):
+        if join_at is not None and i == join_at:
+            cluster.add_node(scenario.join_node)
+        if leave_at is not None and i == leave_at:
+            cluster.remove_node(scenario.leave_node)
+        if op == "get":
+            try:
+                got, _ = cluster.get(key)
+            except QuorumError:
+                result.unavailable_reads += 1
+                continue
+            oracle.classify(key, got, result, final=False)
+            continue
+        value = val if op == "put" else None
+        try:
+            if op == "put":
+                cluster.put(key, val)
+            else:
+                cluster.delete(key)
+        except QuorumError as exc:
+            result.unavailable_writes += 1
+            if exc.acks >= 1:
+                result.partial_writes += 1
+                oracle.partial(key, value)
+            continue
+        oracle.acked(key, value)
+        result.writes_acked += 1
+    result.ops_issued = len(ops)
+
+    _pump_until_healthy(cluster, result, oracle)
+    cluster.drain_hints()
+    if cluster.pending_hints:
+        result.violations.append(
+            f"{cluster.pending_hints} hint(s) still pending after drain"
+        )
+
+    _verify(cluster, oracle, result)
+    _audit_replicas(cluster, oracle, result)
+    _collect(cluster, result)
+    _check_window_effects(cluster, scenario, result)
+    return result
+
+
+def _pump_until_healthy(cluster, result, oracle, limit: int = 4000) -> None:
+    """Age still-open node windows past their end with pump writes.
+
+    The cluster clock only advances with traffic, so a window still open
+    when the stream ends needs pump ops — tracked by the oracle exactly
+    like client writes."""
+    i = 0
+    while not cluster.all_healthy():
+        if i >= limit:
+            result.violations.append(
+                "nodes never returned to HEALTHY within the pump budget"
+            )
+            return
+        key = encode_key(_PUMP_KEY_BASE + (i % 500))
+        val = b"pump%06d" % i
+        try:
+            cluster.put(key, val)
+            oracle.acked(key, val)
+            result.writes_acked += 1
+        except QuorumError as exc:
+            result.unavailable_writes += 1
+            if exc.acks >= 1:
+                oracle.partial(key, val)
+        result.pump_ops += 1
+        i += 1
+
+
+def _verify(cluster, oracle, result) -> None:
+    """Every acked write must read back (R=RF) with its latest value."""
+    for key in sorted(oracle.expected):
+        try:
+            got, _ = cluster.read_full(key)
+        except QuorumError:
+            result.violations.append(
+                f"full read rejected after recovery for key {key!r}"
+            )
+            continue
+        oracle.classify(key, got, result, final=True)
+
+
+def _audit_replicas(cluster, oracle, result) -> None:
+    """Post-repair convergence: all replicas of a key hold one envelope.
+
+    :meth:`read_full` repaired every stale replica during verification, so
+    any divergence left here is a real handoff/repair bug."""
+    for key in sorted(oracle.expected):
+        replicas = cluster.ring.replicas_for(
+            key, cluster.config.replication_factor
+        )
+        seen = set()
+        for name in replicas:
+            env, _ = cluster.nodes[name].get_envelope(key)
+            seen.add(None if env is None else (env[0], env[1], env[2]))
+        if len(seen) > 1:
+            result.divergent_replicas += 1
+            result.violations.append(
+                f"replicas of {key!r} diverge across {sorted(replicas)}"
+            )
+
+
+def _collect(cluster, result) -> None:
+    counters = cluster.counters()
+    result.hints_stored = counters["hints_stored"]
+    result.hints_replayed = counters["hints_replayed"]
+    result.hints_obsolete = counters["hints_obsolete"]
+    result.read_repairs = counters["read_repairs"]
+    result.rebalanced_keys = counters["rebalanced_keys"]
+    result.rebalance_jobs = len(cluster.rebalance_jobs)
+    result.offline_rejections = dict(sorted(cluster.offline_rejections.items()))
+    result.brownout_ops = dict(sorted(cluster.brownout_ops.items()))
+
+
+def _check_window_effects(cluster, scenario, result) -> None:
+    """Each scheduled degradation (and membership change) must have bitten."""
+    for spec in scenario.windows:
+        if spec.state is HealthState.OFFLINE:
+            bit = (
+                result.offline_rejections.get(spec.node, 0) > 0
+                or result.hints_stored > 0
+                or result.unavailable_writes > 0
+                or result.unavailable_reads > 0
+            )
+            if not bit:
+                result.violations.append(
+                    f"outage window on {spec.node!r} had no effect"
+                )
+        elif spec.state is HealthState.BROWNOUT:
+            if result.brownout_ops.get(spec.node, 0) == 0:
+                result.violations.append(
+                    f"brownout window on {spec.node!r} surcharged no ops"
+                )
+    if scenario.join_node is not None or scenario.leave_node is not None:
+        moved = result.rebalanced_keys + sum(
+            j.hinted for j in cluster.rebalance_jobs
+        )
+        if moved == 0:
+            result.violations.append("membership change moved no keys")
+    # An outage overlapping quorum writes must have exercised handoff.
+    outage = any(
+        s.state is HealthState.OFFLINE for s in scenario.windows
+    )
+    if outage and result.hints_stored == 0 and result.unavailable_writes == 0:
+        result.violations.append("node outage produced no hints or rejections")
+
+
+# ------------------------------------------------------------------ fan-out
+
+
+def run_cluster_soak(
+    scenarios: Optional[list[ClusterScenario]] = None,
+    seed: int = 0,
+    workers: int = 1,
+) -> ClusterSoakReport:
+    """Run every cluster scenario; identical report at any worker count."""
+    if scenarios is None:
+        scenarios = default_cluster_scenarios()
+    jobs = [
+        Job(run_cluster_scenario, args=(sc, seed), label=f"cluster:{sc.name}")
+        for sc in scenarios
+    ]
+    outcomes = run_jobs(jobs, workers=workers)
+    report = ClusterSoakReport()
+    report.scenario_seconds = [o.seconds for o in outcomes]
+    report.results = list(unwrap_all(outcomes))
+    return report
+
+
+# ------------------------------------------------------------------- perf
+
+
+def measure_cluster_throughput(num_ops: int = 400, seed: int = 0) -> dict:
+    """Simulated quorum-write ops/s, healthy vs one-node-degraded.
+
+    Drives the same op stream through two identical clusters — one
+    fault-free, one with a single-node outage window — and compares
+    simulated service throughput.  Deterministic for ``(num_ops, seed)``;
+    the ``repro.perf`` ``cluster_soak`` bench records the ratio.
+    """
+    base = ClusterScenario(name="cluster-node-outage", num_ops=num_ops)
+    ops = _ops_stream(seed * 1_000_003 + sum(base.name.encode()), num_ops)
+
+    def drive(windows):
+        cluster = HyperDBCluster(base.config(), windows=windows, seed=seed)
+        acked = unavailable = 0
+        for op, key, val in ops:
+            try:
+                if op == "put":
+                    cluster.put(key, val)
+                    acked += 1
+                elif op == "del":
+                    cluster.delete(key)
+                    acked += 1
+                else:
+                    cluster.get(key)
+            except QuorumError:
+                unavailable += 1
+        return cluster, acked, unavailable
+
+    healthy, h_acked, _ = drive(())
+    degraded_scenario = ClusterScenario(
+        name="cluster-node-outage",
+        num_ops=num_ops,
+        windows=(NodeWindowSpec("node-1", HealthState.OFFLINE, 0.30, 0.55),),
+    )
+    degraded, d_acked, d_unavail = drive(
+        _resolve_node_windows(degraded_scenario)
+    )
+    h_busy = healthy.busy_seconds()
+    d_busy = degraded.busy_seconds()
+    h_rate = num_ops / h_busy if h_busy > 0 else 0.0
+    d_rate = num_ops / d_busy if d_busy > 0 else 0.0
+    return {
+        "cluster_ops": num_ops,
+        "quorum_writes_acked_healthy": h_acked,
+        "quorum_writes_acked_degraded": d_acked,
+        "unavailable_ops_degraded": d_unavail,
+        "hints_stored": degraded.counters()["hints_stored"],
+        "sim_ops_per_s_healthy": round(h_rate, 3),
+        "sim_ops_per_s_degraded": round(d_rate, 3),
+        "degraded_over_healthy": round(d_rate / h_rate, 3) if h_rate > 0 else 0.0,
+    }

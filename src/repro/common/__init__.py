@@ -14,6 +14,8 @@ from repro.common.errors import (
     DeviceOfflineError,
     CorruptionError,
     TransientIOError,
+    RetryExhaustedError,
+    QuorumError,
     PowerLossError,
     RecoveryError,
     ClosedError,
@@ -42,6 +44,8 @@ __all__ = [
     "DeviceOfflineError",
     "CorruptionError",
     "TransientIOError",
+    "RetryExhaustedError",
+    "QuorumError",
     "PowerLossError",
     "RecoveryError",
     "ClosedError",

@@ -1,5 +1,7 @@
 """Exception hierarchy for the repro package."""
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -20,7 +22,15 @@ class OutOfSpaceError(CapacityError):
     pages still free, so the failing allocation is diagnosable from the
     error alone.  Subclasses :class:`CapacityError` so existing callers
     that degrade on capacity pressure keep working.
+
+    ``node_id`` names the cluster node the rejecting device belongs to
+    (``None`` on a single-node store), so cluster failover paths can
+    attribute the rejection in their ledgers.
     """
+
+    def __init__(self, message: str, node_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.node_id = node_id
 
 
 class DeviceOfflineError(ReproError):
@@ -30,7 +40,15 @@ class DeviceOfflineError(ReproError):
     no fault-injector counter advanced.  Engines with a failover policy
     catch this and serve from the surviving tier; callers without one see
     honest unavailability instead of silently stale data.
+
+    ``node_id`` names the cluster node that rejected the operation
+    (``None`` on a single-node store), so a cluster coordinator can charge
+    the rejection to the right replica in its ledger.
     """
+
+    def __init__(self, message: str = "", node_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.node_id = node_id
 
 
 class CorruptionError(ReproError):
@@ -52,6 +70,58 @@ class TransientIOError(ReproError):
     failed attempt is still charged to the traffic ledger.  Distinct from
     :class:`CorruptionError`: retrying a transient error can succeed.
     """
+
+
+class RetryExhaustedError(TransientIOError):
+    """A transient-error retry policy ran out of retries.
+
+    Subclasses :class:`TransientIOError`, so every existing handler keeps
+    working; what it adds is attribution: ``attempts`` is the total number
+    of I/O attempts issued (initial try + retries) and
+    ``total_backoff_s`` is the simulated backoff time already charged to
+    the traffic ledger across those attempts — the caller can surface
+    *how much* the device struggled before giving up, not just that it
+    did.
+    """
+
+    def __init__(
+        self, message: str, attempts: int = 0, total_backoff_s: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.total_backoff_s = total_backoff_s
+
+
+class QuorumError(ReproError):
+    """A cluster operation could not reach its read/write quorum.
+
+    This is *unavailability, never loss*: the coordinator acked nothing,
+    so the client must not assume the write took effect (though surviving
+    replicas that did accept it may later surface the value — standard
+    leaderless semantics).  ``kind`` is ``"read"`` or ``"write"``;
+    ``acks`` is how many replicas succeeded out of ``required`` needed
+    (with ``rf`` total); ``failures`` maps node id to the reason that
+    replica could not serve.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        acks: int,
+        required: int,
+        rf: int,
+        failures: Optional[dict] = None,
+    ) -> None:
+        self.kind = kind
+        self.acks = acks
+        self.required = required
+        self.rf = rf
+        self.failures = dict(failures or {})
+        why = ", ".join(f"{n}: {r}" for n, r in sorted(self.failures.items()))
+        super().__init__(
+            f"{kind} quorum not met: {acks}/{required} acks (rf={rf})"
+            + (f" [{why}]" if why else "")
+        )
 
 
 class PowerLossError(ReproError):

@@ -66,6 +66,8 @@ class PerfScale:
     par_operations: int = 1_000
     #: chaos_soak op-stream length (healthy + degraded passes).
     chaos_ops: int = 600
+    #: cluster_soak op-stream length (healthy + one-node-outage passes).
+    cluster_ops: int = 200
 
     @classmethod
     def full(cls) -> "PerfScale":
@@ -84,6 +86,7 @@ class PerfScale:
             par_records=2_000,
             par_operations=2_000,
             chaos_ops=900,
+            cluster_ops=600,
         )
 
     @classmethod
@@ -103,6 +106,7 @@ class PerfScale:
             par_records=500,
             par_operations=500,
             chaos_ops=300,
+            cluster_ops=240,
         )
 
 
@@ -274,6 +278,22 @@ def bench_chaos_soak(scale: PerfScale) -> BenchResult:
     return BenchResult(2 * n, seconds, extra=stats)
 
 
+def bench_cluster_soak(scale: PerfScale) -> BenchResult:
+    """Quorum-write throughput of the sharded cluster, healthy vs degraded.
+
+    The extra dict records simulated quorum-write throughput with all
+    nodes up and with one node in an outage window, plus their ratio —
+    the trajectory shows what a node loss costs a replicated deployment.
+    """
+    from repro.chaos.cluster import measure_cluster_throughput
+
+    n = scale.cluster_ops
+    t0 = time.perf_counter()
+    stats = measure_cluster_throughput(num_ops=n, seed=0)
+    seconds = time.perf_counter() - t0
+    return BenchResult(2 * n, seconds, extra=stats)
+
+
 def _parallel_e2e_cell(records: int, operations: int, seed: int):
     """One independent fig8-style cell: load HyperDB, run YCSB-B, return
     the :class:`RunResult` (the fan-out unit of :func:`bench_parallel_e2e`)."""
@@ -365,6 +385,7 @@ _BENCHES: Dict[str, Callable[[PerfScale], BenchResult]] = {
     "interval_analysis": bench_interval_analysis,
     "ycsb_e2e": bench_ycsb_e2e,
     "chaos_soak": bench_chaos_soak,
+    "cluster_soak": bench_cluster_soak,
 }
 
 #: Benches that manage their own process pool (run in the parent even in

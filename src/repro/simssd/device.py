@@ -28,7 +28,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import obs
-from repro.common.errors import DeviceOfflineError, OutOfSpaceError, TransientIOError
+from repro.common.errors import (
+    DeviceOfflineError,
+    OutOfSpaceError,
+    RetryExhaustedError,
+)
 from repro.health.state import HealthState
 from repro.simssd.faults import FaultInjector, RetryPolicy
 from repro.simssd.profiles import DeviceProfile
@@ -286,6 +290,7 @@ class SimDevice:
         nbytes = num_pages * self.page_size
         rec = obs.RECORDER
         service = 0.0
+        backoff_total = 0.0
         attempt = 0
         while True:
             failed = self.injector.pull_read_fault() if self.injector else False
@@ -300,9 +305,12 @@ class SimDevice:
                 return service
             delay = self.retry_policy.backoff_s(attempt)
             if delay is None:
-                raise TransientIOError(
+                raise RetryExhaustedError(
                     f"read of {num_pages} page(s) failed after "
-                    f"{attempt + 1} attempts on {self.profile.name!r}"
+                    f"{attempt + 1} attempts on {self.profile.name!r} "
+                    f"({backoff_total:.6f}s of backoff charged)",
+                    attempts=attempt + 1,
+                    total_backoff_s=backoff_total,
                 )
             self.retried_ios += ios
             if rec is not None:
@@ -312,6 +320,7 @@ class SimDevice:
                     attempt=attempt, backoff_s=delay,
                 )
             service += delay
+            backoff_total += delay
             attempt += 1
 
     def write_pages(
@@ -336,6 +345,7 @@ class SimDevice:
         nbytes = num_pages * self.page_size
         rec = obs.RECORDER
         service = 0.0
+        backoff_total = 0.0
         attempt = 0
         while True:
             failed = self.injector.pull_write_fault() if self.injector else False
@@ -350,9 +360,12 @@ class SimDevice:
                 return service
             delay = self.retry_policy.backoff_s(attempt)
             if delay is None:
-                raise TransientIOError(
+                raise RetryExhaustedError(
                     f"write of {num_pages} page(s) failed after "
-                    f"{attempt + 1} attempts on {self.profile.name!r}"
+                    f"{attempt + 1} attempts on {self.profile.name!r} "
+                    f"({backoff_total:.6f}s of backoff charged)",
+                    attempts=attempt + 1,
+                    total_backoff_s=backoff_total,
                 )
             self.retried_ios += ios
             if rec is not None:
@@ -362,6 +375,7 @@ class SimDevice:
                     attempt=attempt, backoff_s=delay,
                 )
             service += delay
+            backoff_total += delay
             attempt += 1
 
     def write_bytes_io(
