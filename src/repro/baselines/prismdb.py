@@ -89,7 +89,7 @@ class _SlabStore:
         self.device = device
         self.config = config
         self.cache = cache
-        self.page_store = PageStore(device)
+        self.page_store = PageStore(device, cache=cache)
         self.index = BTreeIndex(order=64)
         # One keyless "zone" per slot class acts as that class's slab file.
         self._slabs: dict[int, Zone] = {}

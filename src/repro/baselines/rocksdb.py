@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.cache import LRUCache
+from repro.common.records import Record
 from repro.core.interface import KVStore
 from repro.lsm.lsmtree import DbPath, LSMOptions, LSMTree
 from repro.simssd.device import SimDevice
@@ -54,6 +55,34 @@ class RocksDBStore(KVStore):
 
     def delete(self, key: bytes) -> float:
         return self.tree.delete(key)
+
+    def put_many(self, keys, values, busy_out=None, capture_errors=False):
+        if capture_errors:
+            return super().put_many(keys, values, busy_out, capture_errors)
+        if busy_out is None:
+            return self.tree.put_many(keys, values)
+        nvme_tr = self.nvme_device.traffic
+        sata_tr = self.sata_device.traffic
+        out = []
+        for key, value in zip(keys, values):
+            self.tree._seqno += 1
+            out.append(self.tree._write(Record(key, value, self.tree._seqno)))
+            busy_out.append((nvme_tr._busy_s, sata_tr._busy_s))
+        return out
+
+    def get_many(self, keys, busy_out=None, capture_errors=False):
+        if capture_errors:
+            return super().get_many(keys, busy_out, capture_errors)
+        if busy_out is None:
+            return self.tree.get_many(keys)
+        get = self.tree.get
+        nvme_tr = self.nvme_device.traffic
+        sata_tr = self.sata_device.traffic
+        out = []
+        for key in keys:
+            out.append(get(key))
+            busy_out.append((nvme_tr._busy_s, sata_tr._busy_s))
+        return out
 
     def scan(self, start: bytes, count: int):
         return self.tree.scan(start, count)

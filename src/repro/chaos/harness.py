@@ -392,7 +392,14 @@ def _drive(engine, ops, scenario, result):
         and scenario.engine == "hyperdb"
         else None
     )
-    for i, (op, key, val) in enumerate(ops):
+    # Drive through the store's batch API: consecutive same-type ops go
+    # down in one call (``capture_errors`` turns per-op rejections into
+    # result slots), with batch boundaries at op-type changes and at the
+    # scheduled restart.  Oracle bookkeeping is identical to the per-op
+    # loop — slots come back in op order.
+    n = len(ops)
+    i = 0
+    while i < n:
         if restart_at is not None and i == restart_at:
             try:
                 engine.checkpoint()
@@ -402,13 +409,31 @@ def _drive(engine, ops, scenario, result):
                 # The restart landed inside a window: skip it (a planned
                 # restart would not be attempted on a down tier).
                 pass
-        try:
-            if op == "put":
-                engine.put(key, val)
-            elif op == "del":
-                engine.delete(key)
-            else:
-                got, _ = engine.get(key)
+        op = ops[i][0]
+        j = i + 1
+        while j < n and ops[j][0] == op and j != restart_at:
+            j += 1
+        batch = ops[i:j]
+        keys = [k for _, k, _ in batch]
+        if op == "put":
+            vals = [v for _, _, v in batch]
+            slots = engine.put_many(keys, vals, capture_errors=True)
+        elif op == "del":
+            slots = engine.delete_many(keys, capture_errors=True)
+        else:
+            slots = engine.get_many(keys, capture_errors=True)
+        for (op_, key, val), slot in zip(batch, slots):
+            if isinstance(slot, DeviceOfflineError):
+                # Unavailability, not loss: the op was rejected atomically
+                # and is not acked, so the expected state does not change.
+                if result is not None:
+                    if op_ == "get":
+                        result.unavailable_reads += 1
+                    else:
+                        result.unavailable_writes += 1
+                continue
+            if op_ == "get":
+                got, _ = slot
                 if result is not None:
                     want = expected.get(key)
                     if got == want:
@@ -420,19 +445,11 @@ def _drive(engine, ops, scenario, result):
                     else:
                         result.stale_reads += 1
                 continue
-        except DeviceOfflineError:
-            # Unavailability, not loss: the op was rejected atomically and
-            # is not acked, so the expected state does not change.
+            # The write returned: it is acked and must survive.
+            expected[key] = val if op_ == "put" else None
             if result is not None:
-                if op == "get":
-                    result.unavailable_reads += 1
-                else:
-                    result.unavailable_writes += 1
-            continue
-        # The write returned: it is acked and must survive.
-        expected[key] = val if op == "put" else None
-        if result is not None:
-            result.writes_acked += 1
+                result.writes_acked += 1
+        i = j
     if result is not None:
         result.ops_issued = len(ops)
     return expected

@@ -172,6 +172,60 @@ class HyperDBCluster:
         self.stats.counter("deletes").add()
         return self._quorum_write(key, b"", tombstone=True)
 
+    # ------------------------------------------------------------- batches
+    #
+    # Batch entry points mirroring the single-node ``KVStore`` batch API.
+    # Quorum resolution is inherently per-key (each key has its own
+    # replica set and health outcome), so these are per-op loops — the
+    # win is one Python call per batch at the client boundary, plus
+    # uniform error capture for soak drivers.  Results are identical to
+    # the equivalent per-op sequence: same clock ticks, same hint
+    # replays, same counters.
+
+    def put_many(
+        self, keys, values, capture_errors: bool = False
+    ) -> list:
+        """Quorum-write each pair; returns per-op service seconds.
+
+        With ``capture_errors`` a failed op's slot holds the raised
+        :class:`QuorumError` instead of aborting the batch.
+        """
+        out: list = []
+        for key, value in zip(keys, values):
+            try:
+                out.append(self.put(key, value))
+            except QuorumError as exc:
+                if not capture_errors:
+                    raise
+                out.append(exc)
+        return out
+
+    def get_many(self, keys, capture_errors: bool = False) -> list:
+        """Quorum-read each key; returns ``(payload, service)`` tuples
+        (or the :class:`QuorumError` per failed op under
+        ``capture_errors``)."""
+        out: list = []
+        for key in keys:
+            try:
+                out.append(self.get(key))
+            except QuorumError as exc:
+                if not capture_errors:
+                    raise
+                out.append(exc)
+        return out
+
+    def delete_many(self, keys, capture_errors: bool = False) -> list:
+        """Quorum-delete each key; same conventions as :meth:`put_many`."""
+        out: list = []
+        for key in keys:
+            try:
+                out.append(self.delete(key))
+            except QuorumError as exc:
+                if not capture_errors:
+                    raise
+                out.append(exc)
+        return out
+
     def _quorum_write(self, key: bytes, payload: bytes, tombstone: bool) -> float:
         self.clock += 1
         self._replay_due_hints()

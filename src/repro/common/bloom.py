@@ -26,11 +26,25 @@ import numpy as np
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
+# Memo for the (pure) key -> base-hash mapping.  Skewed workloads probe
+# the same hot keys through every filter on every access; caching the
+# blake2b digest is free correctness-wise and saves a hash per repeat.
+_HASH_MEMO: dict[bytes, tuple[int, int]] = {}
+_HASH_MEMO_MAX = 1 << 16
+
 
 def _base_hashes(key: bytes) -> tuple[int, int]:
-    digest = hashlib.blake2b(key, digest_size=16).digest()
-    return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:], "little")
-
+    h = _HASH_MEMO.get(key)
+    if h is None:
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h = (
+            int.from_bytes(digest[:8], "little"),
+            int.from_bytes(digest[8:], "little"),
+        )
+        if len(_HASH_MEMO) >= _HASH_MEMO_MAX:
+            _HASH_MEMO.clear()
+        _HASH_MEMO[key] = h
+    return h
 
 #: Public alias: callers holding one key that probes several filters can
 #: hash once and use :meth:`BloomFilter.add_hashed` /
@@ -78,7 +92,14 @@ class BloomFilter:
     def _positions(self, key: bytes) -> list[int]:
         h1, h2 = _base_hashes(key)
         m = self.num_bits
-        return [((h1 + i * h2) & _MASK64) % m for i in range(self.num_hashes)]
+        # Incremental double hashing: x_i = (h1 + i*h2) mod 2^64, computed
+        # by repeated addition (identical positions, no per-probe multiply).
+        out = []
+        x = h1
+        for _ in range(self.num_hashes):
+            out.append(x % m)
+            x = (x + h2) & _MASK64
+        return out
 
     def add(self, key: bytes) -> None:
         self.add_hashed(*_base_hashes(key))
@@ -92,10 +113,37 @@ class BloomFilter:
         """
         m = self.num_bits
         bits = self._bits
-        for i in range(self.num_hashes):
-            pos = ((h1 + i * h2) & _MASK64) % m
+        x = h1
+        for _ in range(self.num_hashes):
+            pos = x % m
             bits[pos >> 3] |= 1 << (pos & 7)
+            x = (x + h2) & _MASK64
         self._count += 1
+
+    def scatter_hashed(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Set probe bits for precomputed base-hash pairs WITHOUT touching
+        the insert count.
+
+        For callers that defer bit placement (the cascading discriminator
+        counts inserts per access but only needs the bits once the window
+        seals).  Bit placement is identical to per-pair
+        :meth:`add_hashed` — the vectorized ``(h1 + i*h2) mod 2^64`` math
+        wraps exactly like the incremental scalar loop.
+        """
+        if not pairs:
+            return
+        hashes = np.asarray(pairs, dtype=np.uint64)
+        i = np.arange(self.num_hashes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            pos = (hashes[:, 0:1] + i[None, :] * hashes[:, 1:2]) % np.uint64(
+                self.num_bits
+            )
+        byte_idx = (pos >> np.uint64(3)).astype(np.int64).ravel()
+        masks = (
+            np.left_shift(np.uint64(1), pos & np.uint64(7)).astype(np.uint8).ravel()
+        )
+        view = np.frombuffer(self._bits, dtype=np.uint8)
+        np.bitwise_or.at(view, byte_idx, masks)
 
     def add_many(self, keys: Sequence[bytes] | Iterable[bytes]) -> None:
         """Insert many keys at once, scattering all probe bits vectorized."""
@@ -123,10 +171,12 @@ class BloomFilter:
         """Membership probe by precomputed base hashes."""
         m = self.num_bits
         bits = self._bits
-        for i in range(self.num_hashes):
-            pos = ((h1 + i * h2) & _MASK64) % m
+        x = h1
+        for _ in range(self.num_hashes):
+            pos = x % m
             if not (bits[pos >> 3] >> (pos & 7)) & 1:
                 return False
+            x = (x + h2) & _MASK64
         return True
 
     def fill_ratio(self) -> float:

@@ -44,6 +44,10 @@ class BTreeIndex:
         self._order = order
         self._root: Any = _Leaf()
         self._len = 0
+        # Hash mirror of the tree's mapping: point lookups dominate the
+        # index workload (one ``get`` per store op, plus GC), so they go
+        # through this O(1) dict; the tree itself serves ordered scans.
+        self._fast: dict[bytes, Any] = {}
 
     def __len__(self) -> int:
         return self._len
@@ -58,20 +62,25 @@ class BTreeIndex:
         return node
 
     def get(self, key: bytes, default: Any = None) -> Any:
-        leaf = self._find_leaf(key)
-        idx = bisect_left(leaf.keys, key)
-        if idx < len(leaf.keys) and leaf.keys[idx] == key:
-            return leaf.values[idx]
-        return default
+        return self._fast.get(key, default)
 
     def __contains__(self, key: bytes) -> bool:
-        sentinel = object()
-        return self.get(key, sentinel) is not sentinel
+        return key in self._fast
 
     # ------------------------------------------------------------- insert
 
     def insert(self, key: bytes, value: Any) -> bool:
-        """Insert or replace.  Returns True if the key was new."""
+        """Insert or replace.  Returns True if the key was new.
+
+        Replacements never touch the tree: current values live in the
+        hash mirror (leaf ``values`` slots may go stale and are never
+        read), so only *new* keys pay the structural walk.
+        """
+        fast = self._fast
+        if key in fast:
+            fast[key] = value
+            return False
+        fast[key] = value
         path: list[tuple[_Internal, int]] = []
         node = self._root
         while isinstance(node, _Internal):
@@ -80,9 +89,6 @@ class BTreeIndex:
             node = node.children[idx]
         leaf: _Leaf = node
         idx = bisect_left(leaf.keys, key)
-        if idx < len(leaf.keys) and leaf.keys[idx] == key:
-            leaf.values[idx] = value
-            return False
         leaf.keys.insert(idx, key)
         leaf.values.insert(idx, value)
         self._len += 1
@@ -136,6 +142,7 @@ class BTreeIndex:
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
             leaf.keys.pop(idx)
             leaf.values.pop(idx)
+            del self._fast[key]
             self._len -= 1
             return True
         return False
@@ -154,12 +161,15 @@ class BTreeIndex:
         """Ordered iteration over ``[start, end)``."""
         leaf = self._leftmost_leaf() if start is None else self._find_leaf(start)
         idx = 0 if start is None else bisect_left(leaf.keys, start)
+        fast = self._fast
         while leaf is not None:
             while idx < len(leaf.keys):
                 key = leaf.keys[idx]
                 if end is not None and key >= end:
                     return
-                yield key, leaf.values[idx]
+                # Values are read through the mirror: leaf slots go stale
+                # on replacement (see ``insert``).
+                yield key, fast[key]
                 idx += 1
             leaf = leaf.next
             idx = 0

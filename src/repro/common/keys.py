@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 #: Width of encoded integer keys.  The paper uses 8-byte keys.
 KEY_WIDTH = 8
 
@@ -24,6 +26,24 @@ def encode_key(key_id: int, width: int = KEY_WIDTH) -> bytes:
     if key_id < 0:
         raise ValueError(f"key ids must be non-negative, got {key_id}")
     return key_id.to_bytes(width, "big")
+
+
+def encode_keys(key_ids, width: int = KEY_WIDTH) -> list[bytes]:
+    """Vectorized :func:`encode_key` over a sequence of integer key ids.
+
+    One big-endian cast and one ``tobytes`` replace per-id ``int.to_bytes``
+    calls; each returned element is byte-identical to ``encode_key(kid)``.
+    """
+    if width != KEY_WIDTH:
+        return [encode_key(int(kid), width) for kid in key_ids]
+    arr = np.asarray(key_ids, dtype=np.int64)
+    if arr.size == 0:
+        return []
+    if int(arr.min()) < 0:
+        bad = int(arr[arr < 0][0])
+        raise ValueError(f"key ids must be non-negative, got {bad}")
+    buf = arr.astype(">u8").tobytes()
+    return [buf[i : i + 8] for i in range(0, len(buf), 8)]
 
 
 def decode_key(key: bytes) -> int:

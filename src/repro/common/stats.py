@@ -40,7 +40,10 @@ class LatencyHistogram:
     """
 
     def __init__(self, initial_capacity: int = 4096) -> None:
-        self._buf = np.empty(initial_capacity, dtype=np.float64)
+        # A zero-sized buffer can never grow by doubling (2*0 == 0):
+        # record() would step past the end and record_many() would loop
+        # forever, so clamp the starting capacity to at least one slot.
+        self._buf = np.empty(max(1, initial_capacity), dtype=np.float64)
         self._n = 0
 
     def record(self, latency: float) -> None:

@@ -231,6 +231,135 @@ class HyperDB(KVStore):
                 self.stats.counter("promotions_staged").add()
         return rec.value, service
 
+    # ------------------------------------------------------- batched ops
+    #
+    # The fused paths below replicate put/get exactly — same calls in the
+    # same order, same float accumulation — minus per-op dispatch, health
+    # peeks, and epoch entry, all of which are no-ops while the devices
+    # are unguarded (no injector, or no health windows planned).  Guarded
+    # devices fall back to the per-op loop so window boundaries still land
+    # between ops; results are bit-identical either way.
+
+    def put_many(self, keys, values, busy_out=None, capture_errors=False) -> list:
+        nvme_tr = self.nvme_device.traffic
+        sata_tr = self.sata_device.traffic
+        if (
+            self.nvme_device._health_guarded
+            or self.sata_device._health_guarded
+            or self.admission is not None
+            or capture_errors
+        ):
+            out = []
+            for key, value in zip(keys, values):
+                try:
+                    out.append(self.put(key, value))
+                except DeviceOfflineError as exc:
+                    if not capture_errors:
+                        raise
+                    out.append(exc)
+                if busy_out is not None:
+                    busy_out.append((nvme_tr._busy_s, sata_tr._busy_s))
+            return out
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        if not keys:
+            return []
+        puts = self.stats.counter("puts")
+        partition_for_key = self.performance_tier.partition_for_key
+        invalidate = self.promotion.invalidate
+        migration = self.migration
+        busy_append = busy_out.append if busy_out is not None else None
+        out = []
+        append = out.append
+        for key, value in zip(keys, values):
+            puts.value += 1
+            self._seqno += 1
+            partition = partition_for_key(key)
+            partition.tracker.record_access(key)
+            service = partition._put_locked(
+                Record(key, value, self._seqno), TrafficKind.FOREGROUND
+            )
+            invalidate(key)
+            if partition.over_high_watermark():
+                migration.run_if_needed()
+            if migration.has_catch_up and migration.capacity_online():
+                migration.run_catch_up()
+            append(service)
+            if busy_append is not None:
+                busy_append((nvme_tr._busy_s, sata_tr._busy_s))
+        return out
+
+    def get_many(self, keys, busy_out=None, capture_errors=False) -> list:
+        nvme_tr = self.nvme_device.traffic
+        sata_tr = self.sata_device.traffic
+        if (
+            self.nvme_device._health_guarded
+            or self.sata_device._health_guarded
+            or capture_errors
+        ):
+            out = []
+            for key in keys:
+                try:
+                    out.append(self.get(key))
+                except DeviceOfflineError as exc:
+                    if not capture_errors:
+                        raise
+                    out.append(exc)
+                if busy_out is not None:
+                    busy_out.append((nvme_tr._busy_s, sata_tr._busy_s))
+            return out
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        if not keys:
+            return []
+        gets = self.stats.counter("gets")
+        # Hit counters are fetched lazily (get-or-create per increment) so
+        # the registry's contents and insertion order match the per-op
+        # path exactly — it only creates a counter on its first hit.
+        counter = self.stats.counter
+        contains = self.config.key_space.contains
+        partition_for_key = self.performance_tier.partition_for_key
+        promo_lookup = self.promotion.lookup
+        promo_stage = self.promotion.stage
+        capacity_get = self.capacity_tier.get
+        busy_append = busy_out.append if busy_out is not None else None
+        out = []
+        append = out.append
+        for key in keys:
+            gets.value += 1
+            if not contains(key):
+                append((None, 0.0))
+            else:
+                partition = partition_for_key(key)
+                rec, service = partition.get(key)
+                if rec is not None:
+                    counter("nvme_hits").value += 1
+                    append((None if rec.is_tombstone else rec.value, service))
+                else:
+                    staged = promo_lookup(key)
+                    if staged is not None:
+                        counter("staging_hits").value += 1
+                        append(
+                            (None if staged.is_tombstone else staged.value, service)
+                        )
+                    else:
+                        rec, s = capacity_get(key)
+                        service += s
+                        if rec is None:
+                            append((None, service))
+                        elif rec.is_tombstone:
+                            counter("sata_hits").value += 1
+                            append((None, service))
+                        else:
+                            counter("sata_hits").value += 1
+                            if partition.tracker.is_hot(key):
+                                promo_stage(rec)
+                                counter("promotions_staged").value += 1
+                            append((rec.value, service))
+            if busy_append is not None:
+                busy_append((nvme_tr._busy_s, sata_tr._busy_s))
+        return out
+
     def scan(self, start: bytes, count: int) -> tuple[list[tuple[bytes, bytes]], float]:
         """Range scan, implemented as merged sequential point queries
         (§4.2: HyperDB's scan path; the layout difference between tiers

@@ -10,6 +10,7 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
+from repro.common.errors import DeviceOfflineError
 from repro.simssd.device import SimDevice
 
 
@@ -41,6 +42,70 @@ class KVStore(abc.ABC):
 
     def finalize(self) -> None:
         """Flush asynchronous state (end-of-run barrier).  Optional."""
+
+    # ------------------------------------------------------- batched ops
+    #
+    # Batched variants carry a whole slice of the workload through the
+    # store in one call, eliminating per-op dispatch overhead on the
+    # Python hot path.  Engines override them with fused loops; these
+    # defaults preserve exact per-op semantics (same call order, same
+    # float accumulation) so batched and per-op runs stay bit-identical.
+    #
+    # ``busy_out``, when given, receives one tuple per op of cumulative
+    # per-device busy seconds *after* that op, in ``devices()`` order —
+    # the runner differences consecutive rows to attribute latency.
+    # ``capture_errors=True`` converts a ``DeviceOfflineError`` on an op
+    # into that op's result slot instead of aborting the batch.
+
+    def put_many(
+        self, keys, values, busy_out=None, capture_errors=False
+    ) -> list:
+        """Batched :meth:`put`.  Returns per-op service seconds (or the
+        captured exception in that op's slot)."""
+        devs = list(self.devices().values()) if busy_out is not None else None
+        out = []
+        for key, value in zip(keys, values):
+            try:
+                out.append(self.put(key, value))
+            except DeviceOfflineError as exc:
+                if not capture_errors:
+                    raise
+                out.append(exc)
+            if devs is not None:
+                busy_out.append(tuple(d.busy_seconds() for d in devs))
+        return out
+
+    def get_many(self, keys, busy_out=None, capture_errors=False) -> list:
+        """Batched :meth:`get`.  Returns per-op ``(value_or_none,
+        service_seconds)`` tuples (or the captured exception)."""
+        devs = list(self.devices().values()) if busy_out is not None else None
+        out = []
+        for key in keys:
+            try:
+                out.append(self.get(key))
+            except DeviceOfflineError as exc:
+                if not capture_errors:
+                    raise
+                out.append(exc)
+            if devs is not None:
+                busy_out.append(tuple(d.busy_seconds() for d in devs))
+        return out
+
+    def delete_many(self, keys, busy_out=None, capture_errors=False) -> list:
+        """Batched :meth:`delete`.  Returns per-op service seconds (or the
+        captured exception in that op's slot)."""
+        devs = list(self.devices().values()) if busy_out is not None else None
+        out = []
+        for key in keys:
+            try:
+                out.append(self.delete(key))
+            except DeviceOfflineError as exc:
+                if not capture_errors:
+                    raise
+                out.append(exc)
+            if devs is not None:
+                busy_out.append(tuple(d.busy_seconds() for d in devs))
+        return out
 
     # ------------------------------------------------------- conveniences
 

@@ -44,17 +44,27 @@ class CascadingDiscriminator:
         self.bits_per_key = bits_per_key
         self._open = BloomFilter(window_capacity, bits_per_key)
         self._sealed: deque[BloomFilter] = deque()  # newest at the right
+        #: Base hashes of accesses not yet scattered into the open
+        #: filter's bits.  The open window is never probed (``is_hot``
+        #: scans sealed filters only), so bit placement can be deferred
+        #: and vectorized at seal time; counts stay exact per access.
+        self._pending: list[tuple[int, int]] = []
         self.accesses = 0
         self.windows_sealed = 0
 
     def access(self, key: bytes) -> None:
         """Record one read or update of ``key``."""
-        self._open.add_hashed(*base_hashes(key))
+        o = self._open
+        self._pending.append(base_hashes(key))
+        o._count += 1
         self.accesses += 1
-        if self._open.is_full:
+        # Inlined ``is_full`` (this runs once per store operation).
+        if o._count >= o.capacity:
             self._seal()
 
     def _seal(self) -> None:
+        self._open.scatter_hashed(self._pending)
+        self._pending.clear()
         self._sealed.append(self._open)
         self.windows_sealed += 1
         if len(self._sealed) > self.max_filters:
@@ -89,4 +99,5 @@ class CascadingDiscriminator:
     def reset(self) -> None:
         self._sealed.clear()
         self._open = BloomFilter(self.window_capacity, self.bits_per_key)
+        self._pending.clear()
         self.accesses = 0

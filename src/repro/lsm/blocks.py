@@ -54,6 +54,14 @@ def decode_records(data: bytes) -> Iterator[Record]:
         yield Record(key, value, seqno, deleted=bool(flags & _FLAG_TOMBSTONE))
 
 
+# Content-keyed memo for single-record decodes (the NVMe slot read
+# path).  Records are never mutated after construction anywhere in the
+# tree, so handing repeat readers of the same payload one shared Record
+# is safe; a corrupted payload can't collide with a memoized key.
+_DECODE_ONE_MEMO: dict[tuple[bytes, int], Record] = {}
+_DECODE_ONE_MEMO_MAX = 8192
+
+
 def decode_one(data: bytes, offset: int = 0) -> Record:
     """Decode the single record starting at ``offset``.
 
@@ -61,6 +69,10 @@ def decode_one(data: bytes, offset: int = 0) -> Record:
     generator machinery; the NVMe slot read path decodes exactly one record
     per object lookup, so this is a hot path.
     """
+    memo_key = (data, offset)
+    rec = _DECODE_ONE_MEMO.get(memo_key)
+    if rec is not None:
+        return rec
     end = len(data)
     if offset + _HEADER.size > end:
         raise CorruptionError(f"truncated record header at offset {offset}")
@@ -68,12 +80,16 @@ def decode_one(data: bytes, offset: int = 0) -> Record:
     body = offset + _HEADER.size
     if body + klen + vlen > end:
         raise CorruptionError(f"truncated record body at offset {body}")
-    return Record(
+    rec = Record(
         data[body : body + klen],
         data[body + klen : body + klen + vlen],
         seqno,
         deleted=bool(flags & _FLAG_TOMBSTONE),
     )
+    if len(_DECODE_ONE_MEMO) >= _DECODE_ONE_MEMO_MAX:
+        _DECODE_ONE_MEMO.clear()
+    _DECODE_ONE_MEMO[memo_key] = rec
+    return rec
 
 
 def decode_prefix(data: bytes) -> tuple[list[Record], int, bool]:
@@ -113,8 +129,22 @@ def encode_block(records: Iterable[Record]) -> bytes:
     return payload + struct.pack(">I", zlib.crc32(payload))
 
 
+# Content-keyed memo of decoded blocks.  Decoding is pure, and the block
+# cache already hands the same record list to every reader, so sharing
+# one list per distinct block payload is safe.  The memo only pays off
+# when a block is re-read (and re-decoded) after LRU eviction; a
+# corrupted payload never matches a memoized key, so checksum failures
+# still surface.  Bounded by wholesale clearing -- entries are cheap to
+# rebuild.
+_DECODE_MEMO: dict[bytes, list[Record]] = {}
+_DECODE_MEMO_MAX = 1024
+
+
 def decode_block(block: bytes) -> list[Record]:
     """Decode a checksummed data block, verifying integrity."""
+    cached = _DECODE_MEMO.get(block)
+    if cached is not None:
+        return cached
     if len(block) < CHECKSUM_SIZE:
         raise CorruptionError("block shorter than its checksum")
     payload, footer = block[:-CHECKSUM_SIZE], block[-CHECKSUM_SIZE:]
@@ -149,6 +179,9 @@ def decode_block(block: bytes) -> list[Record]:
                 deleted=bool(flags & _FLAG_TOMBSTONE),
             )
         )
+    if len(_DECODE_MEMO) >= _DECODE_MEMO_MAX:
+        _DECODE_MEMO.clear()
+    _DECODE_MEMO[block] = records
     return records
 
 

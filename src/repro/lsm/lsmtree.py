@@ -362,6 +362,20 @@ class LSMTree:
         """Delete via tombstone.  Returns foreground service time."""
         return self._write(Record.tombstone(key, self.next_seqno()))
 
+    def put_many(self, keys, values) -> list[float]:
+        """Batched :meth:`put`: one fused loop over the write path."""
+        write = self._write
+        out = []
+        for key, value in zip(keys, values):
+            self._seqno += 1
+            out.append(write(Record(key, value, self._seqno)))
+        return out
+
+    def get_many(self, keys) -> list:
+        """Batched :meth:`get`.  Returns per-op ``(value, service)`` tuples."""
+        get = self.get
+        return [get(key) for key in keys]
+
     def ingest(self, rec: Record) -> float:
         """Write a pre-stamped record (used by cross-tier migration)."""
         if rec.seqno > self._seqno:

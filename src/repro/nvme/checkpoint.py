@@ -214,4 +214,14 @@ class PartitionCheckpoint:
         partition._zones = ordered_regular
         partition._zone_bounds = [z.key_range.lo for z in ordered_regular]
         partition.hot_zone = hot_zone
+        partition._zone_map = dict(zones)
+        # The zones above were rebuilt behind the partition's incremental
+        # page counter (direct Zone construction + _total_pages surgery),
+        # so re-attach it and re-sync from the rebuilt totals.
+        box = partition._used_pages_box
+        for zone in zones.values():
+            zone.page_counter = box
+        box[0] = hot_zone.total_pages() + sum(
+            z.total_pages() for z in ordered_regular
+        )
         return service

@@ -19,14 +19,20 @@ from repro.simssd.traffic import TrafficKind
 class PageStore:
     """Allocate, read, and write individual device pages."""
 
-    def __init__(self, device: SimDevice) -> None:
+    def __init__(
+        self, device: SimDevice, cache: Optional[LRUCache] = None
+    ) -> None:
         self.device = device
+        #: The DRAM page cache fronting this store (when the owner wires
+        #: one in).  ``free`` must know about it: releasing a page without
+        #: dropping its cached copy leaves dead bytes charged against the
+        #: cache budget forever (page ids are never reused).
+        self.cache = cache
+        #: Plain attribute (device geometry is fixed): consulted on every
+        #: slot write's bounds check and page rounding.
+        self.page_size = device.page_size
         self._pages: dict[int, bytearray] = {}
         self._next_id = 0
-
-    @property
-    def page_size(self) -> int:
-        return self.device.page_size
 
     @property
     def allocated_pages(self) -> int:
@@ -48,6 +54,8 @@ class PageStore:
         if page_id not in self._pages:
             raise ReproError(f"double free or unknown page {page_id}")
         del self._pages[page_id]
+        if self.cache is not None:
+            self.cache.invalidate(("nvpg", page_id))
         self.device.trim(1)
 
     def write(
@@ -79,13 +87,25 @@ class PageStore:
                 f"{npages} page(s)"
             )
 
+        inj = self.device.injector
+        if inj is None:
+            # No injector: the charge cannot crash, fail, or corrupt, so
+            # skip the closure and exception plumbing on the hot path.
+            service = self.device.write_pages(npages, kind, sequential=False)
+            end = offset + len(data)
+            if end > len(page):
+                page.extend(b"\x00" * (end - len(page)))
+            page[offset:end] = data
+            if cache is not None:
+                cache.invalidate(("nvpg", page_id))
+            return service
+
         def apply(payload: bytes) -> None:
             end = offset + len(payload)
             if end > len(page):
                 page.extend(b"\x00" * (end - len(page)))
             page[offset:end] = payload
 
-        inj = self.device.injector
         try:
             service = self.device.write_pages(npages, kind, sequential=False)
         except PowerLossError as e:

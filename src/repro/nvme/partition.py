@@ -54,10 +54,19 @@ class Partition:
         self.tracker = self._make_tracker(max(64, config.slot_classes[0]))
         self._tracker_calibrated = False
 
+        #: Running page total over all zones (hot zone included), shared
+        #: with every zone via ``Zone.page_counter``.  Keeps ``used_pages``
+        #: — consulted by the watermark check on every put — O(1) instead
+        #: of O(zones).
+        self._used_pages_box: list[int] = [0]
+
         #: Ordered regular zones: ``_zone_bounds[i]`` is the lower bound of
         #: ``_zones[i]``; ranges tile the partition's key range.
         self._zones: list[Zone] = []
         self._zone_bounds: list[bytes] = []
+        #: Every live zone (hot zone included) by id — ``_zone_by_id`` runs
+        #: on each read and in-place update, so it must not scan the list.
+        self._zone_map: dict[int, Zone] = {}
         self._init_zones()
         self.hot_zone = self._new_zone(None)
 
@@ -121,7 +130,10 @@ class Partition:
     def _new_zone(self, key_range: Optional[KeyRange]) -> Zone:
         self._zone_seq += 1
         zone_id = self.partition_id * 1_000_000 + self._zone_seq
-        return Zone(zone_id, key_range, self.page_store)
+        zone = Zone(zone_id, key_range, self.page_store)
+        zone.page_counter = self._used_pages_box
+        self._zone_map[zone_id] = zone
+        return zone
 
     def zone_for_key(self, key: bytes) -> Zone:
         """The regular zone whose range contains ``key``."""
@@ -151,14 +163,20 @@ class Partition:
 
     @property
     def used_pages(self) -> int:
-        return self.hot_zone.total_pages() + sum(z.total_pages() for z in self._zones)
+        # Maintained incrementally by the zones (see ``_used_pages_box``);
+        # equal to hot_zone.total_pages() + sum over regular zones.
+        return self._used_pages_box[0]
 
     @property
     def fill_fraction(self) -> float:
         return self.used_pages / self.page_budget if self.page_budget else 1.0
 
     def over_high_watermark(self) -> bool:
-        return self.fill_fraction >= self.config.high_watermark
+        # Same math as ``fill_fraction >= high_watermark`` without the
+        # property hops — this sits on every put.
+        budget = self.page_budget
+        fill = self._used_pages_box[0] / budget if budget else 1.0
+        return fill >= self.config.high_watermark
 
     def below_low_watermark(self) -> bool:
         return self.fill_fraction <= self.config.low_watermark
@@ -182,35 +200,66 @@ class Partition:
         """
         self.tracker.record_access(rec.key)
         with self.page_store.device.health_epoch:
-            service = 0.0
-            loc: Optional[SlotLocation] = self.index.get(rec.key)
-            needed = rec.encoded_size
-            if loc is not None and needed <= loc.slot_size:
-                zone = self._zone_by_id(loc.zone_id)
-                new_loc, s = zone.update_in_place(loc, rec, kind, self.cache)
-                # An updated object diverges from its SATA copy: it can no
-                # longer be dropped on eviction, so the promotion label is
-                # cleared.
-                new_loc.promoted = False
-                self.index.insert(rec.key, new_loc)
-                self._written_bytes += needed
-                self._written_objects += 1
-                return s
-            # New object, or resized: new slot, tombstone at the old location.
-            if loc is not None:
-                old_zone = self._zone_by_id(loc.zone_id)
-                service += old_zone.write_tombstone(loc, kind, self.cache)
-                old_zone.remove_object(rec.key, loc)
-            zone = self.zone_for_key(rec.key)
-            slot_size = self.config.slot_class_for(needed)
-            new_loc, s = zone.write_record(rec, slot_size, kind, self.cache)
-            service += s
+            return self._put_locked(rec, kind)
+
+    def _put_locked(self, rec: Record, kind: TrafficKind) -> float:
+        """The :meth:`put` body, minus tracker touch and health epoch.
+
+        Batched callers that have already established (or safely skipped)
+        the epoch call this directly; see :meth:`put_many`.
+        """
+        service = 0.0
+        loc: Optional[SlotLocation] = self.index.get(rec.key)
+        needed = rec.encoded_size
+        if loc is not None and needed <= loc.slot_size:
+            zone = self._zone_by_id(loc.zone_id)
+            new_loc, s = zone.update_in_place(loc, rec, kind, self.cache)
+            # An updated object diverges from its SATA copy: it can no
+            # longer be dropped on eviction, so the promotion label is
+            # cleared.
+            new_loc.promoted = False
             self.index.insert(rec.key, new_loc)
             self._written_bytes += needed
             self._written_objects += 1
+            # In-place updates count toward Eq. 1 too: without this,
+            # update-heavy workloads never reach the calibration point
+            # and the tracker window stays at its construction guess.
             self._maybe_calibrate_tracker()
-            self._maybe_split_zone(zone)
-            return service
+            return s
+        # New object, or resized: new slot, tombstone at the old location.
+        if loc is not None:
+            old_zone = self._zone_by_id(loc.zone_id)
+            service += old_zone.write_tombstone(loc, kind, self.cache)
+            old_zone.remove_object(rec.key, loc)
+        zone = self.zone_for_key(rec.key)
+        slot_size = self.config.slot_class_for(needed)
+        new_loc, s = zone.write_record(rec, slot_size, kind, self.cache)
+        service += s
+        self.index.insert(rec.key, new_loc)
+        self._written_bytes += needed
+        self._written_objects += 1
+        self._maybe_calibrate_tracker()
+        self._maybe_split_zone(zone)
+        return service
+
+    def put_many(
+        self, recs, kind: TrafficKind = TrafficKind.FOREGROUND
+    ) -> list[float]:
+        """Batched :meth:`put` over a sequence of records.
+
+        When the device is health-guarded, each put needs its own epoch
+        (window boundaries must land between ops), so the batch degrades
+        to per-op puts.  Unguarded, epochs are pure no-ops and the loop
+        is fused.  ``self.tracker`` is re-read every iteration: a put may
+        trigger tracker calibration, replacing it mid-batch.
+        """
+        if self.page_store.device._health_guarded:
+            return [self.put(rec, kind) for rec in recs]
+        out = []
+        for rec in recs:
+            self.tracker.record_access(rec.key)
+            out.append(self._put_locked(rec, kind))
+        return out
 
     def delete(self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND) -> float:
         """Remove an object (tombstone the slot, drop the index entry)."""
@@ -224,12 +273,12 @@ class Partition:
         return service
 
     def _zone_by_id(self, zone_id: int) -> Zone:
-        if zone_id == self.hot_zone.zone_id:
-            return self.hot_zone
-        for z in self._zones:
-            if z.zone_id == zone_id:
-                return z
-        raise ReproError(f"zone {zone_id} not found in partition {self.partition_id}")
+        zone = self._zone_map.get(zone_id)
+        if zone is None:
+            raise ReproError(
+                f"zone {zone_id} not found in partition {self.partition_id}"
+            )
+        return zone
 
     # --------------------------------------------------------------- reads
 
@@ -449,6 +498,10 @@ class Partition:
         self.index = BTreeIndex(order=64)
         self._zones = []
         self._zone_bounds = []
+        self._zone_map.clear()
+        # Pages above were freed behind the zones' backs, so re-zero the
+        # shared counter before fresh zones start mirroring into it.
+        self._used_pages_box[0] = 0
         self._init_zones()
         self.hot_zone = self._new_zone(None)
         self._written_bytes = 0
@@ -464,8 +517,16 @@ class Partition:
         Splitting physically resettles the zone's objects so each new zone's
         pages contain only its own range — charged as GC traffic.
         """
-        limit = int(self.zone_target_objects() * self.config.zone_split_factor)
-        if zone.is_hot_zone or zone.object_count <= max(limit, 8):
+        # Inlined ``zone_target_objects() * zone_split_factor`` (identical
+        # math): this check runs on every new-slot put, and the limit is
+        # never needed for zones at or below the unconditional floor of 8.
+        if zone.is_hot_zone or zone.object_count <= 8:
+            return
+        wo = self._written_objects
+        avg = self._written_bytes / wo if wo else float(self.config.slot_classes[0])
+        target = max(1, int(self.config.migration_batch_bytes / avg))
+        limit = int(target * self.config.zone_split_factor)
+        if zone.object_count <= max(limit, 8):
             return
         # Resettling transiently needs fresh pages while the old zone still
         # holds its own; without headroom the split waits for migration.
@@ -496,3 +557,5 @@ class Partition:
             self.index.insert(key, new_loc)
         self._zones[idx : idx + 1] = [left, right]
         self._zone_bounds[idx : idx + 1] = [left.key_range.lo, median]
+        # The split zone is dead: stale locations naming it must fail.
+        del self._zone_map[zone.zone_id]

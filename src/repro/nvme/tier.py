@@ -31,7 +31,7 @@ class PerformanceTier:
         self.key_space = key_space
         self.config = config or NVMeConfig()
         self.cache = cache
-        self.page_store = PageStore(device)
+        self.page_store = PageStore(device, cache=cache)
 
         n = self.config.num_partitions
         # A small device-level reserve absorbs transient allocations

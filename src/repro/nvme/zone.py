@@ -78,6 +78,11 @@ class Zone:
         self.keys: dict[bytes, None] = {}
         self.used_bytes = 0
         self.read_ios = 0  # foreground reads since last migration (cost/benefit)
+        #: Shared one-element page counter (the owning partition's running
+        #: ``used_pages`` total).  When set, every page this zone gains or
+        #: loses is mirrored into it, keeping the partition's watermark
+        #: check O(1) instead of O(zones).
+        self.page_counter: Optional[list[int]] = None
 
     # ----------------------------------------------------------- geometry
 
@@ -136,6 +141,9 @@ class Zone:
         zp.used = 1
         self._pages[pid] = zp
         self._total_pages += zp.total_pages
+        c = self.page_counter
+        if c is not None:
+            c[0] += zp.total_pages
         if zp.free_slots:
             self._open.setdefault(slot_size, []).append(zp)
         return pid, 0
@@ -156,6 +164,9 @@ class Zone:
     def _release_page(self, zp: _ZonePage) -> None:
         del self._pages[zp.page_id]
         self._total_pages -= zp.total_pages
+        c = self.page_counter
+        if c is not None:
+            c[0] -= zp.total_pages
         open_pages = self._open.get(zp.slot_size)
         if open_pages and zp in open_pages:
             open_pages.remove(zp)
@@ -174,7 +185,8 @@ class Zone:
         promoted: bool = False,
     ) -> tuple[SlotLocation, float]:
         """Place ``rec`` into a fresh ``slot_size`` slot and write the page."""
-        if not self.accepts(rec.key):
+        kr = self.key_range  # inlined ``accepts`` (one call per store write)
+        if kr is not None and not kr.contains(rec.key):
             raise ReproError(f"key {rec.key!r} outside zone {self.zone_id} range")
         payload = encode_record(rec)
         if len(payload) > slot_size:
@@ -183,17 +195,12 @@ class Zone:
             )
         page_id, slot_index = self.allocate_slot(slot_size)
         loc = SlotLocation(
-            zone_id=self.zone_id,
-            page_id=page_id,
-            slot_index=slot_index,
-            slot_size=slot_size,
-            record_size=len(payload),
-            seqno=rec.seqno,
-            promoted=promoted,
+            self.zone_id, page_id, slot_index, slot_size,
+            len(payload), rec.seqno, promoted,
         )
         npages = -(-slot_size // self.page_store.page_size)
         service = self.page_store.write(
-            page_id, loc.offset, payload, kind, cache, npages=npages
+            page_id, slot_index * slot_size, payload, kind, cache, npages=npages
         )
         self.keys[rec.key] = None
         self.used_bytes += len(payload)
@@ -217,13 +224,8 @@ class Zone:
         )
         self.used_bytes += len(payload) - loc.record_size
         new_loc = SlotLocation(
-            zone_id=loc.zone_id,
-            page_id=loc.page_id,
-            slot_index=loc.slot_index,
-            slot_size=loc.slot_size,
-            record_size=len(payload),
-            seqno=rec.seqno,
-            promoted=loc.promoted,
+            loc.zone_id, loc.page_id, loc.slot_index, loc.slot_size,
+            len(payload), rec.seqno, loc.promoted,
         )
         return new_loc, service
 

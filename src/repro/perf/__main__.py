@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro import obs
 from repro.perf.harness import (
@@ -50,9 +51,15 @@ def main(argv: list[str] | None = None) -> int:
         "(tracing itself is timed work here — compare traced runs only "
         "with traced runs)",
     )
+    parser.add_argument(
+        "--e2e-mode", choices=("batched", "per-op"), default="batched",
+        help="dispatch mode for the e2e benches; both modes produce "
+        "bit-identical results (CI diffs the printed DIGEST lines)",
+    )
     args = parser.parse_args(argv)
 
     scale = PerfScale.smoke() if args.smoke else PerfScale.full()
+    scale = replace(scale, e2e_batched=args.e2e_mode == "batched")
     recorder = obs.install() if args.trace_out else None
     results = run_benches(scale, only=args.bench, workers=args.workers)
     if recorder is not None:
@@ -74,6 +81,9 @@ def main(argv: list[str] | None = None) -> int:
             f"fan-out speedup {extra['fanout_speedup']:.2f}x "
             f"(merge identical: {extra['merge_identical']})"
         )
+    for name, res in results.items():
+        if res.extra and "digest" in res.extra:
+            print(f"DIGEST {name} [{res.extra['e2e_mode']}] {res.extra['digest']}")
     if run and "speedup_vs_baseline" in run:
         headline = run["speedup_vs_baseline"].get("ycsb_e2e")
         if headline is not None:

@@ -60,6 +60,11 @@ class PerfScale:
     e2e_records: int
     e2e_operations: int
     mode: str = "full"
+    #: Dispatch mode for the e2e benches: ``True`` carries op batches
+    #: through the store's batch API (the default request pipeline),
+    #: ``False`` forces the per-op path.  Both produce bit-identical
+    #: results (see ``BenchResult.extra['digest']``); CI diffs them.
+    e2e_batched: bool = True
     #: parallel_e2e fan-out shape: independent YCSB cells per measurement.
     par_cells: int = 4
     par_records: int = 1_000
@@ -240,6 +245,37 @@ def bench_interval_analysis(scale: PerfScale) -> BenchResult:
     return BenchResult(2 * scale.interval_accesses, time.perf_counter() - t0)
 
 
+def _run_digest(load_total: float, result) -> str:
+    """A canonical sha256 over one e2e run's observable results.
+
+    Floats go in as ``float.hex()`` (exact bits, no rounding), dicts in
+    sorted key order, histograms as their raw sample buffers — so two
+    runs digest equal iff their results are bit-identical.  This is the
+    batching contract's enforcement hook: CI runs the e2e bench in both
+    dispatch modes and diffs the digests.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(float(load_total).hex().encode())
+    h.update(str(result.operations).encode())
+    h.update(float(result.elapsed_s).hex().encode())
+    h.update(float(result.throughput_ops).hex().encode())
+    for dev in sorted(result.traffic):
+        for lane in sorted(result.traffic[dev]):
+            for name in sorted(result.traffic[dev][lane]):
+                v = float(result.traffic[dev][lane][name])
+                h.update(f"{dev}/{lane}/{name}={v.hex()};".encode())
+    for dev in sorted(result.utilization):
+        h.update(f"u:{dev}={float(result.utilization[dev]).hex()};".encode())
+    for dev in sorted(result.space_used):
+        h.update(f"s:{dev}={int(result.space_used[dev])};".encode())
+    for op in sorted(result.latency_by_op):
+        h.update(op.encode())
+        h.update(result.latency_by_op[op].samples().tobytes())
+    return h.hexdigest()
+
+
 def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
     """A small fig8-style run: load HyperDB, then YCSB-B.  The headline."""
     from repro.bench.context import BenchScale, build_store
@@ -255,12 +291,22 @@ def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
         clients=bscale.clients,
         background_threads=bscale.background_threads,
         seed=bscale.seed,
+        batched=scale.e2e_batched,
     )
     t0 = time.perf_counter()
-    runner.load()
-    runner.run(YCSB_WORKLOADS["B"], bscale.operations)
+    load_total = runner.load()
+    result = runner.run(YCSB_WORKLOADS["B"], bscale.operations)
     seconds = time.perf_counter() - t0
-    return BenchResult(scale.e2e_records + scale.e2e_operations, seconds)
+    # Digested outside the timed section: the digest is a correctness
+    # artifact, not part of the measured pipeline.
+    return BenchResult(
+        scale.e2e_records + scale.e2e_operations,
+        seconds,
+        extra={
+            "e2e_mode": "batched" if scale.e2e_batched else "per-op",
+            "digest": _run_digest(load_total, result),
+        },
+    )
 
 
 def bench_chaos_soak(scale: PerfScale) -> BenchResult:
@@ -318,8 +364,12 @@ def _run_results_identical(a_list, b_list) -> bool:
     if len(a_list) != len(b_list):
         return False
     for a, b in zip(a_list, b_list):
-        if (a.operations, a.elapsed_s, a.traffic, a.space_used) != (
-            b.operations, b.elapsed_s, b.traffic, b.space_used
+        if (
+            a.operations, a.elapsed_s, a.traffic, a.space_used,
+            a.utilization, a.throughput_ops,
+        ) != (
+            b.operations, b.elapsed_s, b.traffic, b.space_used,
+            b.utilization, b.throughput_ops,
         ):
             return False
         if set(a.latency_by_op) != set(b.latency_by_op):

@@ -32,7 +32,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro import obs
-from repro.common.keys import encode_key
+from repro.common.keys import encode_key, encode_keys
 from repro.common.stats import LatencyHistogram
 from repro.core.interface import KVStore
 from repro.ycsb.distributions import (
@@ -128,10 +128,18 @@ class WorkloadRunner:
         clients: int = 8,
         background_threads: int = 8,
         seed: int = 0,
+        batched: bool = True,
     ) -> None:
         if record_count <= 0:
             raise ValueError(f"record_count must be positive, got {record_count}")
         self.store = store
+        #: Carry contiguous same-type op slices through the store's batch
+        #: API (one Python call per slice) instead of one call chain per
+        #: op.  Results are bit-identical to per-op execution — the batch
+        #: paths preserve call order and float accumulation — so this is
+        #: purely a hot-path dispatch optimization.  Per-op tracing
+        #: (``obs.install``) forces the per-op path for the run phase.
+        self.batched = batched
         self.record_count = record_count
         self.value_size = value_size
         self.clients = clients
@@ -161,8 +169,19 @@ class WorkloadRunner:
             if shuffle:
                 self.rng.shuffle(ids)
             total = 0.0
-            for kid in ids:
-                total += self.store.put(encode_key(int(kid)), self._value(int(kid)))
+            if self.batched:
+                keys = encode_keys(ids)
+                pool = self._value_pool
+                vs = self.value_size
+                starts = ((ids * 131) % (len(pool) - vs)).tolist()
+                values = [pool[s : s + vs] for s in starts]
+                for s in self.store.put_many(keys, values):
+                    total += s
+            else:
+                for kid in ids:
+                    total += self.store.put(
+                        encode_key(int(kid)), self._value(int(kid))
+                    )
             self.store.finalize()
         return total
 
@@ -211,19 +230,73 @@ class WorkloadRunner:
         device_shares: dict[OpType, list[dict[str, float]]] = {op: [] for op in ops}
         device_names = list(devices)
         device_objs = list(devices.values())
+        choice_list: list[int] = choices.tolist()  # python ints iterate faster
+
+        trace = obs.RECORDER
+        if self.batched and trace is None:
+            cpu_total, fg_service_total = self._run_batched(
+                spec, ops, choice_list, generator,
+                device_names, device_objs, service_samples, device_shares,
+            )
+        else:
+            cpu_total, fg_service_total = self._run_per_op(
+                spec, ops, choice_list, generator,
+                device_names, device_objs, service_samples, device_shares,
+                trace,
+            )
+
+        self.store.finalize()
+        snap_after = {name: d.traffic.snapshot() for name, d in devices.items()}
+        traffic = _diff_snapshots(snap_before, snap_after)
+        if trace is not None:
+            # The run phase's traffic delta is already computed above, so
+            # publish it directly instead of re-snapshotting via MetricScope.
+            trace.note_phase(
+                {"phase": "run", "workload": spec.name, "traffic": traffic}
+            )
+
+        elapsed = self._elapsed(traffic, cpu_total, fg_service_total)
+        rho_by_device = {
+            name: min(0.95, _busy_seconds(traffic[name]) / elapsed)
+            for name in traffic
+        }
+        latency_by_op = self._latencies(service_samples, device_shares, rho_by_device)
+
+        utilization = {}
+        for name in devices:
+            busy = _busy_seconds(traffic[name])
+            utilization[name] = min(1.0, busy / elapsed) if elapsed > 0 else 0.0
+
+        return RunResult(
+            store_name=self.store.name,
+            workload_name=spec.name,
+            operations=operations,
+            clients=self.clients,
+            background_threads=self.background_threads,
+            elapsed_s=elapsed,
+            throughput_ops=operations / elapsed if elapsed > 0 else 0.0,
+            latency_by_op=latency_by_op,
+            traffic=traffic,
+            utilization=utilization,
+            space_used={n: d.used_bytes for n, d in devices.items()},
+        )
+
+    # --------------------------------------------------- execution engines
+
+    def _run_per_op(
+        self, spec, ops, choice_list, generator,
+        device_names, device_objs, service_samples, device_shares, trace,
+    ) -> tuple[float, float]:
+        """One Python call chain per op (the traceable reference path)."""
         cpu_total = 0.0
         fg_service_total = 0.0
-
         # Request keys are drawn in contiguous batches between inserts (the
         # only ops that change the generator's item count): vectorized draws
         # that consume the RNG stream exactly as per-op draws would.
         insert_code = ops.index(OpType.INSERT)
-        choice_list: list[int] = choices.tolist()  # python ints iterate faster
         n_choices = len(choice_list)
         key_buf: "np.ndarray | list[int]" = []
         buf_pos = 0
-
-        trace = obs.RECORDER
         for i, op_idx in enumerate(choice_list):
             op = ops[op_idx]
             busy_before = [d.busy_seconds() for d in device_objs]
@@ -288,42 +361,130 @@ class WorkloadRunner:
             device_shares[op].append(shares)
             cpu_total += cpu
             fg_service_total += service
+        return cpu_total, fg_service_total
 
-        self.store.finalize()
-        snap_after = {name: d.traffic.snapshot() for name, d in devices.items()}
-        traffic = _diff_snapshots(snap_before, snap_after)
-        if trace is not None:
-            # The run phase's traffic delta is already computed above, so
-            # publish it directly instead of re-snapshotting via MetricScope.
-            trace.note_phase(
-                {"phase": "run", "workload": spec.name, "traffic": traffic}
-            )
+    def _run_batched(
+        self, spec, ops, choice_list, generator,
+        device_names, device_objs, service_samples, device_shares,
+    ) -> tuple[float, float]:
+        """Slice the op stream into contiguous same-type runs and carry each
+        through the store's batch API.
 
-        elapsed = self._elapsed(traffic, cpu_total, fg_service_total)
-        rho_by_device = {
-            name: min(0.95, _busy_seconds(traffic[name]) / elapsed)
-            for name in traffic
-        }
-        latency_by_op = self._latencies(service_samples, device_shares, rho_by_device)
-
-        utilization = {}
-        for name in devices:
-            busy = _busy_seconds(traffic[name])
-            utilization[name] = min(1.0, busy / elapsed) if elapsed > 0 else 0.0
-
-        return RunResult(
-            store_name=self.store.name,
-            workload_name=spec.name,
-            operations=operations,
-            clients=self.clients,
-            background_threads=self.background_threads,
-            elapsed_s=elapsed,
-            throughput_ops=operations / elapsed if elapsed > 0 else 0.0,
-            latency_by_op=latency_by_op,
-            traffic=traffic,
-            utilization=utilization,
-            space_used={n: d.used_bytes for n, d in devices.items()},
-        )
+        Latency attribution moves to batch granularity: the store reports
+        cumulative per-device busy seconds after every op (``busy_out``
+        rows), and consecutive rows are differenced here — the same floats
+        the per-op path reads via ``busy_seconds()`` snapshots, so shares,
+        samples, and totals are bit-identical to :meth:`_run_per_op`.
+        """
+        store = self.store
+        insert_code = ops.index(OpType.INSERT)
+        n_choices = len(choice_list)
+        n_devices = len(device_objs)
+        value_cpu = CPU_PER_OP + CPU_PER_BYTE * self.value_size
+        cpu_total = 0.0
+        fg_service_total = 0.0
+        key_buf: "np.ndarray | list[int]" = []
+        buf_pos = 0
+        row_prev = tuple(d.busy_seconds() for d in device_objs)
+        i = 0
+        while i < n_choices:
+            op_idx = choice_list[i]
+            op = ops[op_idx]
+            if op is OpType.INSERT:
+                kid = self.record_count + self._insert_count
+                self._insert_count += 1
+                generator.set_item_count(self.record_count + self._insert_count)
+                service = store.put(encode_key(kid), self._value(kid))
+                rows = [tuple(d.busy_seconds() for d in device_objs)]
+                services = [service]
+                cpus = None
+                op_cpu = value_cpu
+                count = 1
+                j = i + 1
+            else:
+                j = i + 1
+                while j < n_choices and choice_list[j] == op_idx:
+                    j += 1
+                count = j - i
+                # Draw the slice's keys, replicating the per-op refill
+                # points exactly: the buffer refills at the same op indexes
+                # with the same draw sizes, so the RNG stream is identical.
+                kids: list[int] = []
+                while len(kids) < count:
+                    if buf_pos >= len(key_buf):
+                        k0 = i + len(kids)
+                        jj = k0
+                        while jj < n_choices and choice_list[jj] != insert_code:
+                            jj += 1
+                        key_buf = generator.next_many(jj - k0)
+                        buf_pos = 0
+                    take = min(count - len(kids), len(key_buf) - buf_pos)
+                    kids.extend(
+                        int(x) for x in key_buf[buf_pos : buf_pos + take]
+                    )
+                    buf_pos += take
+                keys = encode_keys(kids)
+                rows = []
+                cpus = None
+                if op is OpType.READ:
+                    results = store.get_many(keys, busy_out=rows)
+                    services = [s for _, s in results]
+                    op_cpu = CPU_PER_OP
+                elif op is OpType.UPDATE:
+                    pool = self._value_pool
+                    vs = self.value_size
+                    m = len(pool) - vs
+                    values = [
+                        pool[s0 : s0 + vs] for s0 in [(k * 131) % m for k in kids]
+                    ]
+                    services = store.put_many(keys, values, busy_out=rows)
+                    op_cpu = value_cpu
+                elif op is OpType.SCAN:
+                    services = []
+                    cpus = []
+                    for key in keys:
+                        pairs, service = store.scan(key, spec.scan_length)
+                        services.append(service)
+                        cpus.append(
+                            CPU_PER_OP
+                            + CPU_PER_BYTE * sum(len(v) for _, v in pairs)
+                        )
+                        rows.append(tuple(d.busy_seconds() for d in device_objs))
+                    op_cpu = 0.0
+                else:  # RMW
+                    services = []
+                    for kid, key in zip(kids, keys):
+                        _, s1 = store.get(key)
+                        s2 = store.put(key, self._value(kid))
+                        services.append(s1 + s2)
+                        rows.append(tuple(d.busy_seconds() for d in device_objs))
+                    op_cpu = value_cpu
+            samples = service_samples[op]
+            shares_list = device_shares[op]
+            for idx in range(count):
+                service = services[idx]
+                row = rows[idx]
+                shares: dict[str, float] = {}
+                total_delta = 0.0
+                for k in range(n_devices):
+                    delta = row[k] - row_prev[k]
+                    if delta > 0:
+                        shares[device_names[k]] = delta
+                        total_delta += delta
+                row_prev = row
+                if total_delta > 0 and service > 0:
+                    scale_f = min(1.0, service / total_delta)
+                    if scale_f < 1.0:
+                        shares = {n: v * scale_f for n, v in shares.items()}
+                else:
+                    shares = {}
+                cpu = cpus[idx] if cpus is not None else op_cpu
+                samples.append(service + cpu)
+                shares_list.append(shares)
+                cpu_total += cpu
+                fg_service_total += service
+            i = j
+        return cpu_total, fg_service_total
 
     # ------------------------------------------------------------- models
 
