@@ -52,6 +52,20 @@ def _base_hashes(key: bytes) -> tuple[int, int]:
 base_hashes = _base_hashes
 
 
+def hash_many(keys: Sequence[bytes]) -> np.ndarray:
+    """Base-hash pairs for a batch of keys as an ``(n, 2)`` uint64 array.
+
+    Hash once, probe any number of filters via
+    :meth:`BloomFilter.contains_many` — the columnar analogue of
+    :func:`base_hashes`.  blake2b itself stays scalar (it is not
+    vectorizable), but the memo makes repeats cheap and downstream probes
+    operate on the whole array.
+    """
+    return np.array(
+        [_base_hashes(k) for k in keys], dtype=np.uint64
+    ).reshape(len(keys), 2)
+
+
 class BloomFilter:
     """A fixed-capacity bloom filter.
 
@@ -178,6 +192,28 @@ class BloomFilter:
                 return False
             x = (x + h2) & _MASK64
         return True
+
+    def contains_many(self, hashes: np.ndarray) -> np.ndarray:
+        """Vectorized membership probe over :func:`hash_many` output.
+
+        Returns a boolean array; ``out[i]`` equals
+        ``contains_hashed(*hashes[i])`` — the probe positions are the same
+        ``(h1 + i*h2) mod 2^64`` sequence the scalar loop walks (the scalar
+        path short-circuits on the first clear bit, which only skips work,
+        never changes the verdict).
+        """
+        n = len(hashes)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        i = np.arange(self.num_hashes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            pos = (hashes[:, 0:1] + i[None, :] * hashes[:, 1:2]) % np.uint64(
+                self.num_bits
+            )
+        view = np.frombuffer(self._bits, dtype=np.uint8)
+        byte_idx = (pos >> np.uint64(3)).astype(np.int64)
+        probed = (view[byte_idx] >> (pos & np.uint64(7)).astype(np.uint8)) & 1
+        return probed.all(axis=1)
 
     def fill_ratio(self) -> float:
         """Fraction of bits set; a saturation diagnostic."""

@@ -21,13 +21,21 @@ class LRUCache:
 
     ``get`` refreshes recency; ``put`` evicts least-recently-used entries
     until the new entry fits.  Hit/miss counters feed the benchmark harness.
+
+    Built on a plain dict (insertion-ordered): recency refresh is a
+    delete-and-reinsert, eviction pops ``next(iter(dict))``.  Plain dicts
+    beat :class:`collections.OrderedDict` on this workload — the get/put
+    churn path is one of the hottest loops in the simulator (every cached
+    page and block read lands here).
     """
+
+    __slots__ = ("capacity_bytes", "_entries", "_used", "hits", "misses")
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
-        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._entries: dict[Hashable, tuple[Any, int]] = {}
         self._used = 0
         self.hits = 0
         self.misses = 0
@@ -40,11 +48,15 @@ class LRUCache:
         return self._used
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        entry = self._entries.get(key)
+        entries = self._entries
+        entry = entries.get(key)
         if entry is None:
             self.misses += 1
             return default
-        self._entries.move_to_end(key)
+        # Delete-and-reinsert moves the key to the dict's (insertion-)end,
+        # i.e. marks it most recently used.
+        del entries[key]
+        entries[key] = entry
         self.hits += 1
         return entry[0]
 
@@ -57,17 +69,21 @@ class LRUCache:
         return key in self._entries
 
     def put(self, key: Hashable, value: Any, charge: int = 1) -> None:
-        old = self._entries.pop(key, None)
+        entries = self._entries
+        old = entries.pop(key, None)
+        used = self._used
         if old is not None:
-            self._used -= old[1]
-        if charge > self.capacity_bytes:
+            used -= old[1]
+        capacity = self.capacity_bytes
+        if charge > capacity:
             # Entry can never fit; treat as uncacheable.
+            self._used = used
             return
-        while self._used + charge > self.capacity_bytes and self._entries:
-            _, (_, old_charge) = self._entries.popitem(last=False)
-            self._used -= old_charge
-        self._entries[key] = (value, charge)
-        self._used += charge
+        while used + charge > capacity and entries:
+            victim = next(iter(entries))
+            used -= entries.pop(victim)[1]
+        entries[key] = (value, charge)
+        self._used = used + charge
 
     def invalidate(self, key: Hashable) -> bool:
         entry = self._entries.pop(key, None)

@@ -269,15 +269,126 @@ class HyperDB(KVStore):
         invalidate = self.promotion.invalidate
         migration = self.migration
         busy_append = busy_out.append if busy_out is not None else None
+        nvme_dev = self.nvme_device
+        fg = TrafficKind.FOREGROUND
         out = []
         append = out.append
+        # Deferred foreground charge group (columnar device charging): runs
+        # of slot writes — in-place updates and fresh-slot appends, i.e.
+        # nearly every put — splice their pages without charging and
+        # accumulate (npages, out-slot) here, paid with one grouped
+        # write_pages_batch delta.  Exactness contract: the group is
+        # flushed before ANY other charge on either device (resized-slot
+        # rewrites, zone splits, migration), so the ledger advances in
+        # exactly the per-op charge order; services and busy rows are
+        # backfilled from the batch's per-charge values, which come from
+        # the same seeded sequential accumulation a scalar loop performs.
+        pending_pages: list = []
+        pending_slot: list = []
+        pending_row: list = []
+
+        def defer(npages: int) -> None:
+            pending_pages.append(npages)
+            pending_slot.append(len(out) - 1)
+            if busy_append is not None:
+                pending_row.append(len(busy_out))
+
+        def flush() -> None:
+            if not pending_pages:
+                return
+            if busy_append is None:
+                services = nvme_dev.write_pages_batch(
+                    pending_pages, fg, sequential=False
+                ).tolist()
+                for k, slot in enumerate(pending_slot):
+                    out[slot] = services[k]
+            else:
+                busy_vals: list = []
+                services = nvme_dev.write_pages_batch(
+                    pending_pages, fg, sequential=False, busy_out=busy_vals
+                ).tolist()
+                # No SATA charge can have landed since the first deferred
+                # op (it would have flushed this group first), so one
+                # snapshot serves every backfilled row.
+                sb = sata_tr._busy_s
+                nrows = len(busy_out)
+                for k, slot in enumerate(pending_slot):
+                    out[slot] = services[k]
+                    r = pending_row[k]
+                    # The current op's row may not exist yet (flush from
+                    # inside its own iteration); the loop below appends a
+                    # live post-op snapshot for it instead.
+                    if r < nrows:
+                        busy_out[r] = (busy_vals[k], sb)
+            pending_pages.clear()
+            pending_slot.clear()
+            pending_row.clear()
+
         for key, value in zip(keys, values):
             puts.value += 1
             self._seqno += 1
             partition = partition_for_key(key)
-            partition.tracker.record_access(key)
+            partition._record_access(key)
+            append(None)
+            service = partition._put_locked_deferred(
+                Record(key, value, self._seqno), fg, defer, flush
+            )
+            if service is not None:
+                out[-1] = service
+            invalidate(key)
+            if partition.over_high_watermark():
+                flush()
+                migration.run_if_needed()
+            if migration.has_catch_up and migration.capacity_online():
+                flush()
+                migration.run_catch_up()
+            if busy_append is not None:
+                if out[-1] is None:
+                    busy_append(None)  # backfilled at flush
+                else:
+                    busy_append((nvme_tr._busy_s, sata_tr._busy_s))
+        flush()
+        return out
+
+    def delete_many(self, keys, busy_out=None, capture_errors=False) -> list:
+        nvme_tr = self.nvme_device.traffic
+        sata_tr = self.sata_device.traffic
+        if (
+            self.nvme_device._health_guarded
+            or self.sata_device._health_guarded
+            or self.admission is not None
+            or capture_errors
+        ):
+            out = []
+            for key in keys:
+                try:
+                    out.append(self.delete(key))
+                except DeviceOfflineError as exc:
+                    if not capture_errors:
+                        raise
+                    out.append(exc)
+                if busy_out is not None:
+                    busy_out.append((nvme_tr._busy_s, sata_tr._busy_s))
+            return out
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        if not keys:
+            return []
+        deletes = self.stats.counter("deletes")
+        partition_for_key = self.performance_tier.partition_for_key
+        invalidate = self.promotion.invalidate
+        migration = self.migration
+        busy_append = busy_out.append if busy_out is not None else None
+        tombstone = Record.tombstone
+        out = []
+        append = out.append
+        for key in keys:
+            deletes.value += 1
+            self._seqno += 1
+            partition = partition_for_key(key)
+            partition._record_access(key)
             service = partition._put_locked(
-                Record(key, value, self._seqno), TrafficKind.FOREGROUND
+                tombstone(key, self._seqno), TrafficKind.FOREGROUND
             )
             invalidate(key)
             if partition.over_high_watermark():
@@ -313,10 +424,12 @@ class HyperDB(KVStore):
         if not keys:
             return []
         gets = self.stats.counter("gets")
-        # Hit counters are fetched lazily (get-or-create per increment) so
+        # Hit counters are fetched lazily (get-or-create on first hit) so
         # the registry's contents and insertion order match the per-op
-        # path exactly — it only creates a counter on its first hit.
+        # path exactly, then memoized in locals: the registry lookup per
+        # increment is measurable at batch frequency.
         counter = self.stats.counter
+        nvme_hits = staging_hits = sata_hits = promotions_staged = None
         contains = self.config.key_space.contains
         partition_for_key = self.performance_tier.partition_for_key
         promo_lookup = self.promotion.lookup
@@ -333,12 +446,16 @@ class HyperDB(KVStore):
                 partition = partition_for_key(key)
                 rec, service = partition.get(key)
                 if rec is not None:
-                    counter("nvme_hits").value += 1
+                    if nvme_hits is None:
+                        nvme_hits = counter("nvme_hits")
+                    nvme_hits.value += 1
                     append((None if rec.is_tombstone else rec.value, service))
                 else:
                     staged = promo_lookup(key)
                     if staged is not None:
-                        counter("staging_hits").value += 1
+                        if staging_hits is None:
+                            staging_hits = counter("staging_hits")
+                        staging_hits.value += 1
                         append(
                             (None if staged.is_tombstone else staged.value, service)
                         )
@@ -348,13 +465,21 @@ class HyperDB(KVStore):
                         if rec is None:
                             append((None, service))
                         elif rec.is_tombstone:
-                            counter("sata_hits").value += 1
+                            if sata_hits is None:
+                                sata_hits = counter("sata_hits")
+                            sata_hits.value += 1
                             append((None, service))
                         else:
-                            counter("sata_hits").value += 1
+                            if sata_hits is None:
+                                sata_hits = counter("sata_hits")
+                            sata_hits.value += 1
                             if partition.tracker.is_hot(key):
                                 promo_stage(rec)
-                                counter("promotions_staged").value += 1
+                                if promotions_staged is None:
+                                    promotions_staged = counter(
+                                        "promotions_staged"
+                                    )
+                                promotions_staged.value += 1
                             append((rec.value, service))
             if busy_append is not None:
                 busy_append((nvme_tr._busy_s, sata_tr._busy_s))

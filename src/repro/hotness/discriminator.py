@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.common.bloom import BloomFilter, base_hashes
+import numpy as np
+
+from repro.common.bloom import BloomFilter, base_hashes, hash_many
 
 
 class CascadingDiscriminator:
@@ -85,6 +87,29 @@ class CascadingDiscriminator:
                 best = max(best, run)
             else:
                 run = 0
+        return best >= self.hot_threshold
+
+    def is_hot_many(self, keys: "list[bytes]") -> "np.ndarray":
+        """Vectorized :meth:`is_hot` over a key batch.
+
+        Hashes the batch once (:func:`hash_many`), probes every sealed
+        filter with :meth:`BloomFilter.contains_many`, and computes the
+        longest consecutive-membership run newest-backwards columnar-wise.
+        ``out[i] == is_hot(keys[i])`` exactly — only legal while no
+        ``access`` lands between the probe and the verdicts' use (the
+        migration collector holds that invariant: demotion never records
+        accesses).
+        """
+        n = len(keys)
+        if n == 0 or len(self._sealed) < self.hot_threshold:
+            return np.zeros(n, dtype=bool)
+        hashes = hash_many(keys)
+        run = np.zeros(n, dtype=np.int64)
+        best = np.zeros(n, dtype=np.int64)
+        for bf in reversed(self._sealed):
+            member = bf.contains_many(hashes)
+            run = np.where(member, run + 1, 0)
+            best = np.maximum(best, run)
         return best >= self.hot_threshold
 
     @property

@@ -17,7 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+import numpy as np
+
 from repro import obs
+from repro.common.bloom import hash_many
 from repro.common.cache import LRUCache
 from repro.common.errors import ConfigError, CorruptionError
 from repro.common.records import Record
@@ -362,19 +365,177 @@ class LSMTree:
         """Delete via tombstone.  Returns foreground service time."""
         return self._write(Record.tombstone(key, self.next_seqno()))
 
-    def put_many(self, keys, values) -> list[float]:
-        """Batched :meth:`put`: one fused loop over the write path."""
-        write = self._write
+    def put_many(self, keys, values, busy_hook=None) -> list[float]:
+        """Batched :meth:`put`: one fused loop over the write path.
+
+        ``busy_hook``, when given, is invoked after every op (the store
+        layer snapshots per-device busy seconds into latency rows there).
+        Admission control or an active recorder falls back to the per-op
+        write so stall ordering and emitted events stay exact; either way
+        the calls, their order, and the float math match :meth:`put`
+        bit for bit.
+        """
+        if self.admission is not None or obs.RECORDER is not None:
+            write = self._write
+            out = []
+            for key, value in zip(keys, values):
+                self._seqno += 1
+                out.append(write(Record(key, value, self._seqno)))
+                if busy_hook is not None:
+                    busy_hook()
+            return out
+        wal = self.wal
+        puts = self.stats.counter("puts")
+        mem = self._memtable
+        mem_put = mem.put
         out = []
+        append = out.append
         for key, value in zip(keys, values):
             self._seqno += 1
-            out.append(write(Record(key, value, self._seqno)))
+            rec = Record(key, value, self._seqno)
+            service = wal.append(rec) if wal is not None else 0.0
+            mem_put(rec)
+            puts.value += 1
+            if mem.is_full:
+                service += self.flush()
+                mem = self._memtable
+                mem_put = mem.put
+            self.last_op_service = service
+            append(service)
+            if busy_hook is not None:
+                busy_hook()
         return out
 
-    def get_many(self, keys) -> list:
-        """Batched :meth:`get`.  Returns per-op ``(value, service)`` tuples."""
-        get = self.get
-        return [get(key) for key in keys]
+    def delete_many(self, keys, busy_hook=None) -> list[float]:
+        """Batched :meth:`delete`: tombstones through the fused write loop."""
+        write = self._write
+        out = []
+        for key in keys:
+            self._seqno += 1
+            out.append(write(Record.tombstone(key, self._seqno)))
+            if busy_hook is not None:
+                busy_hook()
+        return out
+
+    def get_many(self, keys, busy_hook=None) -> list:
+        """Batched :meth:`get` with a columnar resolution pass.
+
+        On the unguarded fast path every pure per-key step is hoisted out
+        of the I/O loop and vectorized: candidate tables for each sorted
+        level come from one ``np.searchsorted`` over the level's cached
+        first keys (:meth:`LevelState.tables_for_keys`), and bloom
+        membership for all keys sharing a candidate table from one
+        :meth:`~repro.common.bloom.BloomFilter.contains_many` probe over
+        the batch's hash array.  The block reads then run per key in op
+        order, so cache population and eviction — and therefore every
+        charge — match the per-op path bit for bit.  Guarded devices
+        (fault injector, health windows) or an active recorder fall back
+        to the scalar loop.
+        """
+        fast = obs.RECORDER is None and all(
+            p.fs.device._fastpath for p in self.paths
+        )
+        if not fast:
+            get = self.get
+            out = []
+            for key in keys:
+                out.append(get(key))
+                if busy_hook is not None:
+                    busy_hook()
+            return out
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        n = len(keys)
+        if n == 0:
+            return []
+        self.stats.counter("gets").add(n)
+        # Pure pre-pass: memtable lookups are dict probes (no I/O, no
+        # cache traffic), so resolving every key up front is invisible
+        # to the ledger.  A read batch never mutates the memtables or
+        # the version, so the state probed here is frozen.
+        mem_get = self._memtable.get
+        imms = self._immutables
+        recs: list = []
+        recs_append = recs.append
+        misses: list[bytes] = []
+        miss_pos: list[int] = []
+        for i, key in enumerate(keys):
+            rec = mem_get(key)
+            if rec is None and imms:
+                for imm in reversed(imms):
+                    rec = imm.get(key)
+                    if rec is not None:
+                        break
+            recs_append(rec)
+            if rec is None:
+                miss_pos.append(i)
+                misses.append(key)
+        first = self.options.first_level
+        level_cands: list[tuple[list, list]] = []
+        pos_to_j: dict[int, int] = {}
+        if misses:
+            pos_to_j = {i: j for j, i in enumerate(miss_pos)}
+            hashes = hash_many(misses)
+            for level_no in range(max(first, 1), first + self.options.num_levels):
+                if level_no - first >= self.version.num_levels:
+                    break
+                lvl = self.version.level(level_no)
+                if not lvl.tables:
+                    continue
+                cands = lvl.tables_for_keys(misses)
+                verdicts = [False] * len(misses)
+                groups: dict[int, tuple] = {}
+                for j, t in enumerate(cands):
+                    if t is not None:
+                        groups.setdefault(id(t), (t, []))[1].append(j)
+                for t, js in groups.values():
+                    hit = t.bloom.contains_many(hashes[np.array(js)])
+                    for j, v in zip(js, hit.tolist()):
+                        verdicts[j] = v
+                level_cands.append((cands, verdicts))
+        l0_tables = (
+            list(reversed(self.version.level(0).tables)) if first == 0 else None
+        )
+        cache = self.cache
+        fg = TrafficKind.FOREGROUND
+        out = []
+        append = out.append
+        for i, key in enumerate(keys):
+            rec = recs[i]
+            if rec is not None:
+                self.last_op_service = 0.0
+                append(((None if rec.is_tombstone else rec.value), 0.0))
+                if busy_hook is not None:
+                    busy_hook()
+                continue
+            service = 0.0
+            value = None
+            found = False
+            if l0_tables:
+                for table in l0_tables:
+                    if table.first_key <= key <= table.last_key:
+                        r, s = table.get(key, fg, cache)
+                        service += s
+                        if r is not None:
+                            value = None if r.is_tombstone else r.value
+                            found = True
+                            break
+            if not found:
+                j = pos_to_j[i]
+                for cands, verdicts in level_cands:
+                    t = cands[j]
+                    if t is None or not verdicts[j]:
+                        continue
+                    r, s = t.get_nobloom(key, fg, cache)
+                    service += s
+                    if r is not None:
+                        value = None if r.is_tombstone else r.value
+                        break
+            self.last_op_service = service
+            append((value, service))
+            if busy_hook is not None:
+                busy_hook()
+        return out
 
     def ingest(self, rec: Record) -> float:
         """Write a pre-stamped record (used by cross-tier migration)."""

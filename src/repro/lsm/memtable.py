@@ -1,8 +1,13 @@
 """The in-memory write buffer.
 
-A :class:`MemTable` is a skip list of :class:`Record` keyed by the record
-key, with running size accounting so the engine knows when to rotate it to
-immutable and flush.
+A :class:`MemTable` pairs a hash map — O(1) point lookups, replacement,
+and size accounting — with a skip list that orders keys only when order
+is observable.  Puts append new keys to a pending backlog; the first
+ordered access (a flush or scan calling :meth:`records`,
+:meth:`first_key`, :meth:`last_key`) merges the backlog into the skip
+list in one sorted sweep.  The paper's description of the MemTable ("a
+skip-list and sorted by keys") holds at every ordered access; the hot
+write path just defers the ordering work until something reads it.
 """
 
 from __future__ import annotations
@@ -20,11 +25,16 @@ class MemTable:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
-        self._entries = SkipList(seed=seed)
+        self._map: dict[bytes, Record] = {}
+        self._order = SkipList(seed=seed)
+        #: Keys inserted since the last ordered access, not yet in the
+        #: skip list.  Each key appears at most once (replacements only
+        #: touch the map), so one sort merges the whole backlog.
+        self._pending: list[bytes] = []
         self._size = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._map)
 
     @property
     def size_bytes(self) -> int:
@@ -36,26 +46,40 @@ class MemTable:
 
     def put(self, rec: Record) -> None:
         """Insert or replace; tombstones are stored like any record."""
-        old: Optional[Record] = self._entries.get(rec.key)
+        old = self._map.get(rec.key)
         if old is not None:
             self._size -= old.encoded_size
-        self._entries.insert(rec.key, rec)
+        else:
+            self._pending.append(rec.key)
+        self._map[rec.key] = rec
         self._size += rec.encoded_size
 
     def get(self, key: bytes) -> Optional[Record]:
         """The newest record for ``key``, tombstones included, else None."""
-        return self._entries.get(key)
+        return self._map.get(key)
 
     def __contains__(self, key: bytes) -> bool:
-        return key in self._entries
+        return key in self._map
+
+    def _seal_pending(self) -> None:
+        pending = self._pending
+        if pending:
+            insert = self._order.insert
+            for key in sorted(pending):
+                insert(key, None)
+            pending.clear()
 
     def records(self, start: Optional[bytes] = None) -> Iterator[Record]:
         """Key-ordered iteration of all live records (tombstones included)."""
-        for _, rec in self._entries.items(start=start):
-            yield rec
+        self._seal_pending()
+        rec_for = self._map
+        for key, _ in self._order.items(start=start):
+            yield rec_for[key]
 
     def first_key(self) -> Optional[bytes]:
-        return self._entries.first_key()
+        self._seal_pending()
+        return self._order.first_key()
 
     def last_key(self) -> Optional[bytes]:
-        return self._entries.last_key()
+        self._seal_pending()
+        return self._order.last_key()

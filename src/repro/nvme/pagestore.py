@@ -55,7 +55,7 @@ class PageStore:
             raise ReproError(f"double free or unknown page {page_id}")
         del self._pages[page_id]
         if self.cache is not None:
-            self.cache.invalidate(("nvpg", page_id))
+            self.cache.invalidate(page_id)
         self.device.trim(1)
 
     def write(
@@ -97,7 +97,7 @@ class PageStore:
                 page.extend(b"\x00" * (end - len(page)))
             page[offset:end] = data
             if cache is not None:
-                cache.invalidate(("nvpg", page_id))
+                cache.invalidate(page_id)
             return service
 
         def apply(payload: bytes) -> None:
@@ -112,12 +112,38 @@ class PageStore:
             keep = inj.torn_prefix_len(len(data), e.torn_fraction)
             apply(data[:keep])
             if cache is not None:
-                cache.invalidate(("nvpg", page_id))
+                cache.invalidate(page_id)
             raise
         apply(inj.corrupt_payload(data) if inj is not None else data)
         if cache is not None:
-            cache.invalidate(("nvpg", page_id))
+            cache.invalidate(page_id)
         return service
+
+    def write_nocharge(
+        self, page_id: int, offset: int, data: bytes, cache=None, npages: int = 1
+    ) -> None:
+        """Splice slot bytes and drop the cached copy WITHOUT charging.
+
+        For batch writers (zone-split resettling) that defer their device
+        charges into one grouped :meth:`SimDevice.write_pages_batch` call.
+        Only legal while the device is on its unguarded fastpath — with no
+        injector a write cannot crash, fail, or corrupt, so splicing before
+        the (deferred) charge is unobservable.
+        """
+        page = self._pages.get(page_id)
+        if page is None:
+            raise ReproError(f"write to unallocated page {page_id}")
+        if offset < 0 or offset + len(data) > self.page_size * npages:
+            raise ReproError(
+                f"write [{offset}, {offset + len(data)}) exceeds "
+                f"{npages} page(s)"
+            )
+        end = offset + len(data)
+        if end > len(page):
+            page.extend(b"\x00" * (end - len(page)))
+        page[offset:end] = data
+        if cache is not None:
+            cache.invalidate(page_id)
 
     def read(
         self,
@@ -130,15 +156,16 @@ class PageStore:
         page = self._pages.get(page_id)
         if page is None:
             raise ReproError(f"read of unallocated page {page_id}")
-        cache_key = ("nvpg", page_id)
+        # Page ids key the shared cache directly: every other tenant of the
+        # shared LRU uses tuple keys, so bare ints cannot collide with them.
         if cache is not None:
-            cached = cache.get(cache_key)
+            cached = cache.get(page_id)
             if cached is not None:
                 return cached, 0.0
         service = self.device.read_pages(npages, kind, sequential=False)
         data = bytes(page)
         if cache is not None:
-            cache.put(cache_key, data, charge=npages * self.page_size)
+            cache.put(page_id, data, charge=npages * self.page_size)
         return data, service
 
     def peek(self, page_id: int, offset: int, length: int) -> bytes:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Optional
 
+from repro import obs
 from repro.common.btree import BTreeIndex
 from repro.common.errors import ReproError
 from repro.common.keys import KeyRange
@@ -53,6 +54,11 @@ class Partition:
         # enough writes have been observed.
         self.tracker = self._make_tracker(max(64, config.slot_classes[0]))
         self._tracker_calibrated = False
+        #: Bound fast path to the discriminator's access recorder — touched
+        #: once per client op, where the two delegation frames
+        #: (``tracker.record_access`` -> ``discriminator.access``) are
+        #: measurable.  Refreshed everywhere ``self.tracker`` is replaced.
+        self._record_access = self.tracker.discriminator.access
 
         #: Running page total over all zones (hot zone included), shared
         #: with every zone via ``Zone.page_counter``.  Keeps ``used_pages``
@@ -106,6 +112,7 @@ class Partition:
         )
         if not 0.5 <= target / max(1, current) <= 2.0:
             self.tracker = self._make_tracker(measured)
+            self._record_access = self.tracker.discriminator.access
         self._tracker_calibrated = True
 
     # --------------------------------------------------------------- zones
@@ -198,7 +205,7 @@ class Partition:
         (and any zone split it triggers) must not be torn by a health
         window opening between its I/Os.
         """
-        self.tracker.record_access(rec.key)
+        self._record_access(rec.key)
         with self.page_store.device.health_epoch:
             return self._put_locked(rec, kind)
 
@@ -242,6 +249,62 @@ class Partition:
         self._maybe_split_zone(zone)
         return service
 
+    def _put_locked_deferred(self, rec: Record, kind: TrafficKind, defer, flush):
+        """:meth:`_put_locked` with the slot-write charge deferred.
+
+        ``defer(npages)`` registers the current op's foreground slot write
+        with the caller's charge group; ``flush()`` applies the group.
+        The common paths (in-place update, fresh slot) splice pages
+        without charging and defer; the rare paths that charge other I/O
+        directly — resized-slot rewrite, and the zone split's GC — flush
+        first, so the device ledger advances in exactly the per-op order.
+        Returns the service charged directly, or ``None`` when the charge
+        was fully deferred.  Fastpath-only: callers gate on the devices
+        being unguarded.
+        """
+        loc: Optional[SlotLocation] = self.index.get(rec.key)
+        needed = rec.encoded_size
+        if loc is not None and needed <= loc.slot_size:
+            zone = self._zone_by_id(loc.zone_id)
+            new_loc, npages = zone.update_in_place_deferred(loc, rec, self.cache)
+            defer(npages)
+            new_loc.promoted = False
+            self.index.insert(rec.key, new_loc)
+            self._written_bytes += needed
+            self._written_objects += 1
+            self._maybe_calibrate_tracker()
+            return None
+        if loc is not None:
+            # Resized: the tombstone and rewrite charge immediately, so
+            # the group's earlier charges must land first.
+            flush()
+            old_zone = self._zone_by_id(loc.zone_id)
+            service = old_zone.write_tombstone(loc, kind, self.cache)
+            old_zone.remove_object(rec.key, loc)
+            zone = self.zone_for_key(rec.key)
+            slot_size = self.config.slot_class_for(needed)
+            new_loc, s = zone.write_record(rec, slot_size, kind, self.cache)
+            service += s
+            self.index.insert(rec.key, new_loc)
+            self._written_bytes += needed
+            self._written_objects += 1
+            self._maybe_calibrate_tracker()
+            self._maybe_split_zone(zone)
+            return service
+        zone = self.zone_for_key(rec.key)
+        slot_size = self.config.slot_class_for(needed)
+        new_loc, npages = zone.write_record_deferred(rec, slot_size, self.cache)
+        defer(npages)
+        self.index.insert(rec.key, new_loc)
+        self._written_bytes += needed
+        self._written_objects += 1
+        self._maybe_calibrate_tracker()
+        # Inlined _maybe_split_zone's cheapest early-outs (identical
+        # checks): most puts skip the call entirely.
+        if zone.key_range is not None and len(zone.keys) > 8:
+            self._maybe_split_zone(zone, pre_charge=flush)
+        return None
+
     def put_many(
         self, recs, kind: TrafficKind = TrafficKind.FOREGROUND
     ) -> list[float]:
@@ -257,7 +320,7 @@ class Partition:
             return [self.put(rec, kind) for rec in recs]
         out = []
         for rec in recs:
-            self.tracker.record_access(rec.key)
+            self._record_access(rec.key)
             out.append(self._put_locked(rec, kind))
         return out
 
@@ -286,7 +349,7 @@ class Partition:
         self, key: bytes, kind: TrafficKind = TrafficKind.FOREGROUND
     ) -> tuple[Optional[Record], float]:
         """Point lookup.  Returns ``(record_or_none, service_time)``."""
-        self.tracker.record_access(key)
+        self._record_access(key)
         loc: Optional[SlotLocation] = self.index.get(key)
         if loc is None:
             return None, 0.0
@@ -433,25 +496,36 @@ class Partition:
             page_ids = zone.page_ids()
             _, service = self.page_store.read_many(page_ids, kind)
             demoted: list[Record] = []
-            for key in sorted(zone.keys):
+            keys = sorted(zone.keys)
+            # Columnar hotness verdicts for the whole zone up front: no
+            # access is recorded during collection, so the discriminator is
+            # frozen and the batched probe returns exactly what per-key
+            # ``is_hot`` calls inside the loop would.  The tracker's
+            # query/hit counters still advance per *consulted* key below
+            # (stale index entries are skipped before consulting, exactly
+            # like the scalar path).
+            tracker = self.tracker
+            hot_flags = tracker.discriminator.is_hot_many(keys)
+            demoted_append = demoted.append
+            for key, hot in zip(keys, hot_flags):
                 loc: SlotLocation = self.index.get(key)
                 if loc is None or loc.zone_id != zone.zone_id:
                     continue
                 raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
                 rec = decode_one(raw)
                 rec = Record(key, rec.value, rec.seqno, rec.deleted)
+                tracker.queries += 1
                 # Hot objects are parked rather than demoted, but only while
                 # the hot zone has budget — otherwise they migrate like
                 # anything else.
-                if (
-                    self.tracker.is_hot(key)
-                    and self.hot_zone.total_pages() < self._hot_zone_page_budget()
-                ):
-                    service += self.park_in_hot_zone(rec, loc, kind)
-                    continue
+                if hot:
+                    tracker.hot_hits += 1
+                    if self.hot_zone.total_pages() < self._hot_zone_page_budget():
+                        service += self.park_in_hot_zone(rec, loc, kind)
+                        continue
                 zone.remove_object(key, loc)
                 self.index.delete(key)
-                demoted.append(rec)
+                demoted_append(rec)
             zone.reset_read_counter()
             return demoted, service
 
@@ -507,31 +581,41 @@ class Partition:
         self._written_bytes = 0
         self._written_objects = 0
         self.tracker = self._make_tracker(max(64, self.config.slot_classes[0]))
+        self._record_access = self.tracker.discriminator.access
         self._tracker_calibrated = False
 
     # ------------------------------------------------------- zone rebuild
 
-    def _maybe_split_zone(self, zone: Zone) -> None:
+    def _maybe_split_zone(self, zone: Zone, pre_charge=None) -> None:
         """Rebuild an oversized zone into two (§3.2 periodic re-sizing).
 
         Splitting physically resettles the zone's objects so each new zone's
         pages contain only its own range — charged as GC traffic.
+        ``pre_charge`` (when given) is invoked once the split is committed,
+        before its first charge: callers holding a deferred foreground
+        charge group flush it there so ledger order stays per-op exact.
         """
         # Inlined ``zone_target_objects() * zone_split_factor`` (identical
         # math): this check runs on every new-slot put, and the limit is
         # never needed for zones at or below the unconditional floor of 8.
-        if zone.is_hot_zone or zone.object_count <= 8:
+        # ``is_hot_zone`` / ``object_count`` are inlined too (attribute
+        # tests beat property descriptors on this frequency).
+        count = len(zone.keys)
+        if zone.key_range is None or count <= 8:
             return
         wo = self._written_objects
-        avg = self._written_bytes / wo if wo else float(self.config.slot_classes[0])
-        target = max(1, int(self.config.migration_batch_bytes / avg))
-        limit = int(target * self.config.zone_split_factor)
-        if zone.object_count <= max(limit, 8):
+        cfg = self.config
+        avg = self._written_bytes / wo if wo else float(cfg.slot_classes[0])
+        limit = int(max(1, int(cfg.migration_batch_bytes / avg)) * cfg.zone_split_factor)
+        if count <= max(limit, 8):
             return
         # Resettling transiently needs fresh pages while the old zone still
         # holds its own; without headroom the split waits for migration.
-        if self.page_store.device.free_pages < zone.total_pages() + 2:
+        device = self.page_store.device
+        if device.free_pages < zone.total_pages() + 2:
             return
+        if pre_charge is not None:
+            pre_charge()
         keys = sorted(zone.keys)
         median = keys[len(keys) // 2]
         if median == zone.key_range.lo:
@@ -541,7 +625,13 @@ class Partition:
         right = self._new_zone(KeyRange(median, zone.key_range.hi))
 
         # Resettle: one bulk read of the old zone, rewrites into the halves.
+        # On the unguarded fastpath the slot writes defer their charges and
+        # pay with one grouped delta — no other charge interleaves with the
+        # loop (frees and cache invalidations never touch the ledger), so
+        # the ledger sequence is identical to per-slot charging.
         self.page_store.read_many(zone.page_ids(), TrafficKind.GC)
+        fast = device._fastpath and obs.RECORDER is None
+        pending: list[int] = []
         for key in keys:
             loc: SlotLocation = self.index.get(key)
             if loc is None or loc.zone_id != zone.zone_id:
@@ -549,12 +639,21 @@ class Partition:
             raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
             rec = decode_one(raw)
             rec = Record(key, rec.value, rec.seqno, rec.deleted)
-            target = left if key < median else right
+            dest = left if key < median else right
             zone.remove_object(key, loc)
-            new_loc, _ = target.write_record(
-                rec, loc.slot_size, TrafficKind.GC, self.cache, promoted=loc.promoted
-            )
+            if fast:
+                new_loc, npages = dest.write_record_deferred(
+                    rec, loc.slot_size, self.cache, promoted=loc.promoted
+                )
+                pending.append(npages)
+            else:
+                new_loc, _ = dest.write_record(
+                    rec, loc.slot_size, TrafficKind.GC, self.cache,
+                    promoted=loc.promoted,
+                )
             self.index.insert(key, new_loc)
+        if pending:
+            device.write_pages_batch(pending, TrafficKind.GC, sequential=False)
         self._zones[idx : idx + 1] = [left, right]
         self._zone_bounds[idx : idx + 1] = [left.key_range.lo, median]
         # The split zone is dead: stale locations naming it must fail.

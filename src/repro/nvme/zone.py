@@ -206,6 +206,41 @@ class Zone:
         self.used_bytes += len(payload)
         return loc, service
 
+    def write_record_deferred(
+        self,
+        rec: Record,
+        slot_size: int,
+        cache=None,
+        promoted: bool = False,
+    ) -> tuple[SlotLocation, int]:
+        """:meth:`write_record` minus the device charge.
+
+        Returns ``(location, npages_to_charge)`` so a batch resettler can
+        pay for the whole run of slot writes with one grouped
+        :meth:`repro.simssd.device.SimDevice.write_pages_batch` call.
+        Fastpath-only (see :meth:`PageStore.write_nocharge`).
+        """
+        kr = self.key_range
+        if kr is not None and not kr.contains(rec.key):
+            raise ReproError(f"key {rec.key!r} outside zone {self.zone_id} range")
+        payload = encode_record(rec)
+        if len(payload) > slot_size:
+            raise ReproError(
+                f"record of {len(payload)}B does not fit slot class {slot_size}"
+            )
+        page_id, slot_index = self.allocate_slot(slot_size)
+        loc = SlotLocation(
+            self.zone_id, page_id, slot_index, slot_size,
+            len(payload), rec.seqno, promoted,
+        )
+        npages = -(-slot_size // self.page_store.page_size)
+        self.page_store.write_nocharge(
+            page_id, slot_index * slot_size, payload, cache, npages=npages
+        )
+        self.keys[rec.key] = None
+        self.used_bytes += len(payload)
+        return loc, npages
+
     def update_in_place(
         self,
         loc: SlotLocation,
@@ -228,6 +263,33 @@ class Zone:
             len(payload), rec.seqno, loc.promoted,
         )
         return new_loc, service
+
+    def update_in_place_deferred(
+        self,
+        loc: SlotLocation,
+        rec: Record,
+        cache=None,
+    ) -> tuple[SlotLocation, int]:
+        """:meth:`update_in_place` minus the device charge.
+
+        Returns ``(location, npages_to_charge)``; the caller pays for a
+        run of in-place updates with one grouped
+        :meth:`repro.simssd.device.SimDevice.write_pages_batch` call.
+        Fastpath-only (see :meth:`PageStore.write_nocharge`).
+        """
+        payload = encode_record(rec)
+        if len(payload) > loc.slot_size:
+            raise ReproError("in-place update does not fit the slot")
+        npages = -(-loc.slot_size // self.page_store.page_size)
+        self.page_store.write_nocharge(
+            loc.page_id, loc.offset, payload, cache, npages=npages
+        )
+        self.used_bytes += len(payload) - loc.record_size
+        new_loc = SlotLocation(
+            loc.zone_id, loc.page_id, loc.slot_index, loc.slot_size,
+            len(payload), rec.seqno, loc.promoted,
+        )
+        return new_loc, npages
 
     def read_object(
         self,

@@ -52,16 +52,36 @@ def main(argv: list[str] | None = None) -> int:
         "with traced runs)",
     )
     parser.add_argument(
-        "--e2e-mode", choices=("batched", "per-op"), default="batched",
-        help="dispatch mode for the e2e benches; both modes produce "
+        "--e2e-mode", choices=("columnar", "batched", "per-op"),
+        default="columnar",
+        help="dispatch mode for the e2e benches; all modes produce "
         "bit-identical results (CI diffs the printed DIGEST lines)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each bench under cProfile and dump the top functions by "
+        "cumulative time (profiling overhead is real: numbers from a "
+        "profiled run are not comparable with unprofiled ones)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="FILE", default="results/perf_profile.txt",
+        help="where --profile writes its per-bench top-N dump "
+        "(default: results/perf_profile.txt)",
     )
     args = parser.parse_args(argv)
 
     scale = PerfScale.smoke() if args.smoke else PerfScale.full()
-    scale = replace(scale, e2e_batched=args.e2e_mode == "batched")
+    scale = replace(scale, e2e_mode=args.e2e_mode)
     recorder = obs.install() if args.trace_out else None
-    results = run_benches(scale, only=args.bench, workers=args.workers)
+    if args.profile:
+        from repro.perf.profiling import profile_benches
+
+        results = profile_benches(
+            scale, args.profile_out, only=args.bench
+        )
+        print(f"profile: per-bench cumulative dump -> {args.profile_out}")
+    else:
+        results = run_benches(scale, only=args.bench, workers=args.workers)
     if recorder is not None:
         obs.uninstall()
         recorder.export_jsonl(args.trace_out)
@@ -70,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
             f"({recorder.dropped} dropped) -> {args.trace_out}"
         )
     run = None
+    if args.profile:
+        # Profiled timings carry instrumentation overhead; never let them
+        # into the trajectory file.
+        args.no_save = True
     if not args.no_save:
         run = record_run(args.out, args.label, scale, results, workers=args.workers)
     print(f"repro.perf [{scale.mode}] label={args.label} workers={args.workers}")

@@ -1,0 +1,107 @@
+"""Perf regression gate over the trajectory file.
+
+``python -m repro.perf.gate`` compares the newest run in
+``results/BENCH_perf.json`` against the most recent *prior* run at the
+same mode and host shape (cpu count, architecture, worker count — see
+:func:`repro.parallel.hostinfo.same_host_shape`) and exits non-zero if a
+gated bench's throughput dropped by more than the allowed fraction.
+Cross-shape comparisons are meaningless for wall-clock numbers, so when
+no comparable prior run exists the gate passes with a notice instead of
+guessing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.parallel.hostinfo import same_host_shape
+
+DEFAULT_PATH = "results/BENCH_perf.json"
+DEFAULT_MAX_DROP = 0.20
+
+
+def check(
+    path: str | Path,
+    benches: list[str],
+    max_drop: float = DEFAULT_MAX_DROP,
+) -> list[str]:
+    """Return a list of human-readable failures (empty == gate passes)."""
+    path = Path(path)
+    if not path.exists():
+        print(f"gate: no trajectory file at {path}; nothing to compare")
+        return []
+    doc = json.loads(path.read_text())
+    runs = doc.get("runs", [])
+    if len(runs) < 2:
+        print("gate: fewer than two recorded runs; nothing to compare")
+        return []
+    current = runs[-1]
+    prior = next(
+        (
+            r
+            for r in reversed(runs[:-1])
+            if r.get("mode") == current.get("mode")
+            and same_host_shape(r.get("host"), current.get("host"))
+        ),
+        None,
+    )
+    if prior is None:
+        print(
+            "gate: no prior run with the same mode and host shape; "
+            "passing (cross-shape wall-clock comparisons are not meaningful)"
+        )
+        return []
+    failures = []
+    for name in benches:
+        cur = current.get("benches", {}).get(name)
+        old = prior.get("benches", {}).get(name)
+        if not cur or not old:
+            print(f"gate: bench {name!r} missing from one of the runs; skipped")
+            continue
+        cur_rate = cur["ops"] / cur["seconds"] if cur["seconds"] > 0 else 0.0
+        old_rate = old["ops"] / old["seconds"] if old["seconds"] > 0 else 0.0
+        if old_rate <= 0:
+            continue
+        ratio = cur_rate / old_rate
+        verdict = "OK" if ratio >= 1.0 - max_drop else "FAIL"
+        print(
+            f"gate: {name}: {old_rate / 1e3:.1f} -> {cur_rate / 1e3:.1f} kops/s "
+            f"({ratio:.2f}x vs {prior.get('label')}@{prior.get('git')}) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(
+                f"{name} dropped to {ratio:.2f}x of the last comparable run "
+                f"(allowed floor {1.0 - max_drop:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.gate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--out", default=DEFAULT_PATH, help="trajectory JSON to read")
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        help="bench(es) to gate (repeatable; default: ycsb_e2e)",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=DEFAULT_MAX_DROP,
+        help="maximum tolerated fractional throughput drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    failures = check(args.out, args.bench or ["ycsb_e2e"], args.max_drop)
+    for f in failures:
+        print(f"gate: FAIL {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,11 +60,12 @@ class PerfScale:
     e2e_records: int
     e2e_operations: int
     mode: str = "full"
-    #: Dispatch mode for the e2e benches: ``True`` carries op batches
-    #: through the store's batch API (the default request pipeline),
-    #: ``False`` forces the per-op path.  Both produce bit-identical
-    #: results (see ``BenchResult.extra['digest']``); CI diffs them.
-    e2e_batched: bool = True
+    #: Dispatch mode for the e2e benches: ``columnar`` (the default
+    #: request pipeline: batch dispatch + vectorized attribution),
+    #: ``batched`` (batch dispatch, per-op attribution), or ``per-op``.
+    #: All three produce bit-identical results (see
+    #: ``BenchResult.extra['digest']``); CI diffs them.
+    e2e_mode: str = "columnar"
     #: parallel_e2e fan-out shape: independent YCSB cells per measurement.
     par_cells: int = 4
     par_records: int = 1_000
@@ -140,11 +141,15 @@ class BenchResult:
         return doc
 
 
-def _draw_many(gen, n: int) -> list[int]:
-    """Draw ``n`` keys, via the batch API when the generator has one."""
+def _draw_many(gen, n: int) -> "np.ndarray":
+    """Draw ``n`` keys, via the batch API when the generator has one.
+
+    Returns the generator's numpy array as-is (no per-element boxing into
+    a Python list); consumers that need Python ints convert lazily.
+    """
     if hasattr(gen, "next_many"):
-        return list(gen.next_many(n))
-    return [gen.next() for _ in range(n)]
+        return np.asarray(gen.next_many(n))
+    return np.array([gen.next() for _ in range(n)])
 
 
 # ------------------------------------------------------------------ benches
@@ -291,7 +296,7 @@ def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
         clients=bscale.clients,
         background_threads=bscale.background_threads,
         seed=bscale.seed,
-        batched=scale.e2e_batched,
+        mode=scale.e2e_mode,
     )
     t0 = time.perf_counter()
     load_total = runner.load()
@@ -303,7 +308,7 @@ def bench_ycsb_e2e(scale: PerfScale) -> BenchResult:
         scale.e2e_records + scale.e2e_operations,
         seconds,
         extra={
-            "e2e_mode": "batched" if scale.e2e_batched else "per-op",
+            "e2e_mode": scale.e2e_mode,
             "digest": _run_digest(load_total, result),
         },
     )

@@ -1,0 +1,68 @@
+"""cProfile wrapper for the perf harness (``python -m repro.perf --profile``).
+
+Each selected bench runs once under its own :class:`cProfile.Profile`; the
+top functions by cumulative time are appended to one plain-text dump that
+CI uploads as an artifact.  Profiling overhead is real (the many-small-call
+hot paths inflate several-fold under the tracer), so profiled timings are
+reported but never recorded into the trajectory file.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.perf.harness import (
+    BenchResult,
+    PerfScale,
+    _BENCHES,
+    _POOLED_BENCHES,
+    bench_names,
+)
+
+#: Rows kept per bench in the cumulative-time dump.
+TOP_N = 40
+
+
+def profile_benches(
+    scale: PerfScale,
+    out_path: str | Path,
+    only: Optional[Iterable[str]] = None,
+    top_n: int = TOP_N,
+) -> Dict[str, BenchResult]:
+    """Run each bench under cProfile; write per-bench top-``top_n`` dumps.
+
+    Returns the (instrumented) :class:`BenchResult` per bench so the CLI
+    can still print its table.  Pool-managing benches (parallel_e2e) are
+    profiled in the parent only — child-process time shows up as pool
+    waits, which is honest about where the parent spends its time.
+    """
+    names = list(only) if only else bench_names()
+    unknown = [n for n in names if n not in _BENCHES and n not in _POOLED_BENCHES]
+    if unknown:
+        raise ValueError(f"unknown bench(es): {unknown}; have {bench_names()}")
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    results: Dict[str, BenchResult] = {}
+    sections: list[str] = []
+    for name in names:
+        fn = _BENCHES.get(name)
+        prof = cProfile.Profile()
+        if fn is not None:
+            result = prof.runcall(fn, scale)
+        else:
+            result = prof.runcall(_POOLED_BENCHES[name], scale, 1)
+        results[name] = result
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.sort_stats("cumulative").print_stats(top_n)
+        sections.append(
+            f"==== {name} [{scale.mode}] "
+            f"ops={result.ops} seconds={result.seconds:.6f} ====\n"
+            + buf.getvalue()
+        )
+    out_path.write_text("\n".join(sections))
+    return results

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro import obs
 from repro.common.errors import (
     DeviceOfflineError,
@@ -286,9 +288,16 @@ class SimDevice:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=False)
         if self._fastpath and obs.RECORDER is None:
-            self.traffic.note_read(
-                kind, num_pages * self.page_size, ios, latency, transfer
-            )
+            # Inlined ``traffic.note_read`` (identical field updates in the
+            # same order): this is the single hottest call site in the
+            # simulator, and the method dispatch is measurable.
+            traffic = self.traffic
+            lane = traffic.lanes[kind]
+            lane.read_bytes += num_pages * self.page_size
+            lane.read_ios += ios
+            lane.read_latency_s += latency
+            lane.read_transfer_s += transfer
+            traffic._busy_s += latency + transfer
             return latency + transfer
         if self._health_guarded:
             mult = self._consult_health("read", kind.value)
@@ -346,9 +355,14 @@ class SimDevice:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=True)
         if self._fastpath and obs.RECORDER is None:
-            self.traffic.note_write(
-                kind, num_pages * self.page_size, ios, latency, transfer
-            )
+            # Inlined ``traffic.note_write``; see read_pages.
+            traffic = self.traffic
+            lane = traffic.lanes[kind]
+            lane.write_bytes += num_pages * self.page_size
+            lane.write_ios += ios
+            lane.write_latency_s += latency
+            lane.write_transfer_s += transfer
+            traffic._busy_s += latency + transfer
             return latency + transfer
         if self._health_guarded:
             mult = self._consult_health("write", kind.value)
@@ -397,6 +411,23 @@ class SimDevice:
     ) -> float:
         """Charge a write of ``nbytes`` rounded up to whole pages."""
         pages = -(-nbytes // self.page_size)
+        if pages <= 0:
+            return 0.0
+        if self._fastpath and obs.RECORDER is None:
+            # Fully inlined fastpath (memo probe + ledger note): byte-granular
+            # charges are the WAL/flush hot loop and pay for zero call depth.
+            entry = self._write_charges.get(pages << 1 | sequential)
+            if entry is None:
+                entry = self._charge_for(pages, sequential, write=True)
+            ios, latency, transfer = entry
+            traffic = self.traffic
+            lane = traffic.lanes[kind]
+            lane.write_bytes += pages * self.page_size
+            lane.write_ios += ios
+            lane.write_latency_s += latency
+            lane.write_transfer_s += transfer
+            traffic._busy_s += latency + transfer
+            return latency + transfer
         return self.write_pages(pages, kind, sequential)
 
     def read_bytes_io(
@@ -404,7 +435,100 @@ class SimDevice:
     ) -> float:
         """Charge a read of ``nbytes`` rounded up to whole pages."""
         pages = -(-nbytes // self.page_size)
+        if pages <= 0:
+            return 0.0
+        if self._fastpath and obs.RECORDER is None:
+            entry = self._read_charges.get(pages << 1 | sequential)
+            if entry is None:
+                entry = self._charge_for(pages, sequential, write=False)
+            ios, latency, transfer = entry
+            traffic = self.traffic
+            lane = traffic.lanes[kind]
+            lane.read_bytes += pages * self.page_size
+            lane.read_ios += ios
+            lane.read_latency_s += latency
+            lane.read_transfer_s += transfer
+            traffic._busy_s += latency + transfer
+            return latency + transfer
         return self.read_pages(pages, kind, sequential)
+
+    # --------------------------------------------------------- batch I/O
+
+    def write_pages_batch(
+        self,
+        page_counts: "list[int]",
+        kind: TrafficKind,
+        sequential: bool = True,
+        busy_out: "Optional[list]" = None,
+    ) -> "np.ndarray":
+        """Charge a batch of writes (``page_counts[i]`` pages each) at once.
+
+        Bit-identical to charging each element through :meth:`write_pages`
+        in order: the per-charge latency/transfer values come from the same
+        memo, lane float fields advance by seeded sequential accumulation
+        (see :meth:`TrafficStats.note_write_batch`), and integer byte/IO
+        fields by exact sums.  Returns the per-charge service times.  When
+        ``busy_out`` is given it receives the device busy-seconds value
+        *after* each charge — what a per-charge caller would read from
+        ``traffic._busy_s`` between writes — so latency attribution can
+        reconstruct per-op rows from one grouped charge.
+
+        Only legal on the unguarded fastpath — with an injector attached
+        (faults, crash points, health windows) each charge can diverge, so
+        the batch degrades to the per-charge loop.
+        """
+        n = len(page_counts)
+        if n == 0:
+            return np.empty(0)
+        if not (self._fastpath and obs.RECORDER is None):
+            traffic = self.traffic
+            services = []
+            for p in page_counts:
+                services.append(self.write_pages(p, kind, sequential))
+                if busy_out is not None:
+                    busy_out.append(traffic._busy_s)
+            return np.array(services)
+        charge_for = self._charge_for
+        charges = [charge_for(p, sequential, write=True) for p in page_counts]
+        latency = np.array([c[1] for c in charges])
+        transfer = np.array([c[2] for c in charges])
+        busy = self.traffic.note_write_batch(
+            kind,
+            sum(page_counts) * self.page_size,
+            sum(c[0] for c in charges),
+            latency,
+            transfer,
+        )
+        if busy_out is not None:
+            busy_out.extend(busy.tolist())
+        return latency + transfer
+
+    def read_pages_batch(
+        self,
+        page_counts: "list[int]",
+        kind: TrafficKind,
+        sequential: bool = False,
+    ) -> "np.ndarray":
+        """Read-side twin of :meth:`write_pages_batch`."""
+        n = len(page_counts)
+        if n == 0:
+            return np.empty(0)
+        if not (self._fastpath and obs.RECORDER is None):
+            return np.array(
+                [self.read_pages(p, kind, sequential) for p in page_counts]
+            )
+        charge_for = self._charge_for
+        charges = [charge_for(p, sequential, write=False) for p in page_counts]
+        latency = np.array([c[1] for c in charges])
+        transfer = np.array([c[2] for c in charges])
+        self.traffic.note_read_batch(
+            kind,
+            sum(page_counts) * self.page_size,
+            sum(c[0] for c in charges),
+            latency,
+            transfer,
+        )
+        return latency + transfer
 
     # ------------------------------------------------------------ metrics
 

@@ -23,6 +23,23 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict
 
+import numpy as np
+
+
+def _accumulate_seeded(seed: float, deltas: "np.ndarray") -> "np.ndarray":
+    """Sequential running sums of ``seed + deltas[0] + ... + deltas[i]``.
+
+    ``np.add.accumulate`` is strictly left-to-right, so every intermediate
+    value — and in particular the final one — is bit-identical to a scalar
+    ``+=`` loop applying the same deltas in the same order.  (``np.sum``
+    would not be: its pairwise summation associates differently.)
+    """
+    out = np.empty(len(deltas) + 1)
+    out[0] = seed
+    out[1:] = deltas
+    np.add.accumulate(out, out=out)
+    return out[1:]
+
 
 class TrafficKind(Enum):
     """Why an I/O was issued."""
@@ -86,6 +103,59 @@ class TrafficStats:
         lane.write_latency_s += latency_s
         lane.write_transfer_s += transfer_s
         self._busy_s += latency_s + transfer_s
+
+    def note_read_batch(
+        self,
+        kind: TrafficKind,
+        nbytes: int,
+        ios: int,
+        latency_s: "np.ndarray",
+        transfer_s: "np.ndarray",
+    ) -> "np.ndarray":
+        """Apply one delta for a batch of read charges on a single lane.
+
+        Equivalent to calling :meth:`note_read` once per element of
+        ``latency_s``/``transfer_s`` (``nbytes`` and ``ios`` are the *batch
+        totals*, which are exact integer sums) — every float field lands on
+        the bit-identical value thanks to seeded sequential accumulation.
+        Returns the per-charge post-I/O busy-time values, so callers that
+        attribute latency per operation can reconstruct the busy rows the
+        scalar path would have observed.
+        """
+        lane = self.lanes[kind]
+        lane.read_bytes += nbytes
+        lane.read_ios += ios
+        lane.read_latency_s = float(
+            _accumulate_seeded(lane.read_latency_s, latency_s)[-1]
+        )
+        lane.read_transfer_s = float(
+            _accumulate_seeded(lane.read_transfer_s, transfer_s)[-1]
+        )
+        busy = _accumulate_seeded(self._busy_s, latency_s + transfer_s)
+        self._busy_s = float(busy[-1])
+        return busy
+
+    def note_write_batch(
+        self,
+        kind: TrafficKind,
+        nbytes: int,
+        ios: int,
+        latency_s: "np.ndarray",
+        transfer_s: "np.ndarray",
+    ) -> "np.ndarray":
+        """Write-side twin of :meth:`note_read_batch`."""
+        lane = self.lanes[kind]
+        lane.write_bytes += nbytes
+        lane.write_ios += ios
+        lane.write_latency_s = float(
+            _accumulate_seeded(lane.write_latency_s, latency_s)[-1]
+        )
+        lane.write_transfer_s = float(
+            _accumulate_seeded(lane.write_transfer_s, transfer_s)[-1]
+        )
+        busy = _accumulate_seeded(self._busy_s, latency_s + transfer_s)
+        self._busy_s = float(busy[-1])
+        return busy
 
     def merge(self, other: "TrafficStats") -> None:
         """Fold another ledger into this one, lane-wise.

@@ -120,6 +120,9 @@ class RunResult:
 class WorkloadRunner:
     """Loads a store and executes YCSB workloads against it."""
 
+    #: Recognized execution modes (see ``mode`` below).
+    MODES = ("per-op", "batched", "columnar")
+
     def __init__(
         self,
         store: KVStore,
@@ -129,17 +132,30 @@ class WorkloadRunner:
         background_threads: int = 8,
         seed: int = 0,
         batched: bool = True,
+        mode: Optional[str] = None,
     ) -> None:
         if record_count <= 0:
             raise ValueError(f"record_count must be positive, got {record_count}")
         self.store = store
-        #: Carry contiguous same-type op slices through the store's batch
-        #: API (one Python call per slice) instead of one call chain per
-        #: op.  Results are bit-identical to per-op execution — the batch
-        #: paths preserve call order and float accumulation — so this is
-        #: purely a hot-path dispatch optimization.  Per-op tracing
-        #: (``obs.install``) forces the per-op path for the run phase.
-        self.batched = batched
+        #: Execution mode for the run phase.  All three produce
+        #: bit-identical results (same calls in the same order, same float
+        #: accumulation), so the choice is purely a hot-path dispatch
+        #: optimization:
+        #:
+        #: * ``per-op`` — one Python call chain per op (the traceable
+        #:   reference path; forced whenever per-op tracing is installed);
+        #: * ``batched`` — contiguous same-type op slices carried through
+        #:   the store's batch API, per-op attribution loop;
+        #: * ``columnar`` — batched dispatch plus a vectorized epilogue:
+        #:   busy-delta attribution, queueing shares, and histogram fills
+        #:   are numpy array passes over the whole op stream.
+        if mode is None:
+            mode = "batched" if batched else "per-op"
+        if mode not in self.MODES:
+            raise ValueError(f"unknown runner mode {mode!r}; have {self.MODES}")
+        self.mode = mode
+        #: Back-compat flag: True for any batch-dispatch mode.
+        self.batched = mode != "per-op"
         self.record_count = record_count
         self.value_size = value_size
         self.clients = clients
@@ -233,7 +249,12 @@ class WorkloadRunner:
         choice_list: list[int] = choices.tolist()  # python ints iterate faster
 
         trace = obs.RECORDER
-        if self.batched and trace is None:
+        col_state = None
+        if self.mode == "columnar" and trace is None:
+            cpu_total, fg_service_total, col_state = self._run_columnar(
+                spec, ops, choice_list, generator, device_objs,
+            )
+        elif self.batched and trace is None:
             cpu_total, fg_service_total = self._run_batched(
                 spec, ops, choice_list, generator,
                 device_names, device_objs, service_samples, device_shares,
@@ -260,7 +281,14 @@ class WorkloadRunner:
             name: min(0.95, _busy_seconds(traffic[name]) / elapsed)
             for name in traffic
         }
-        latency_by_op = self._latencies(service_samples, device_shares, rho_by_device)
+        if col_state is not None:
+            latency_by_op = self._latencies_columnar(
+                ops, col_state, device_names, rho_by_device
+            )
+        else:
+            latency_by_op = self._latencies(
+                service_samples, device_shares, rho_by_device
+            )
 
         utilization = {}
         for name in devices:
@@ -485,6 +513,153 @@ class WorkloadRunner:
                 fg_service_total += service
             i = j
         return cpu_total, fg_service_total
+
+    def _run_columnar(
+        self, spec, ops, choice_list, generator, device_objs,
+    ) -> tuple[float, float, tuple]:
+        """Batched dispatch with a fully columnar epilogue.
+
+        The op stream is sliced into contiguous same-type runs exactly
+        like :meth:`_run_batched` (same store calls, same RNG draws), but
+        per-op attribution is deferred: the loop only collects flat,
+        op-ordered columns — busy rows, service times, CPU costs — and
+        :meth:`_latencies_columnar` turns them into shares, queueing
+        penalties, and histograms with numpy array passes.  Every array
+        operation reproduces the scalar path's float math bit-for-bit
+        (elementwise IEEE ops are the same ops; sequential accumulation
+        uses ``np.add.accumulate``, which is left-to-right like ``+=``),
+        so results are byte-identical to the other modes.
+        """
+        store = self.store
+        insert_code = ops.index(OpType.INSERT)
+        n_choices = len(choice_list)
+        value_cpu = CPU_PER_OP + CPU_PER_BYTE * self.value_size
+        key_buf: "np.ndarray | list[int]" = []
+        buf_pos = 0
+        row0 = tuple(d.busy_seconds() for d in device_objs)
+        rows: list[tuple] = []
+        services_flat: list[float] = []
+        cpus_flat: list[float] = []
+        i = 0
+        while i < n_choices:
+            op_idx = choice_list[i]
+            op = ops[op_idx]
+            if op is OpType.INSERT:
+                kid = self.record_count + self._insert_count
+                self._insert_count += 1
+                generator.set_item_count(self.record_count + self._insert_count)
+                services_flat.append(store.put(encode_key(kid), self._value(kid)))
+                rows.append(tuple(d.busy_seconds() for d in device_objs))
+                cpus_flat.append(value_cpu)
+                i += 1
+                continue
+            j = i + 1
+            while j < n_choices and choice_list[j] == op_idx:
+                j += 1
+            count = j - i
+            # Same refill points and draw sizes as the per-op path: the
+            # RNG stream is identical (see _run_batched).
+            kids: list[int] = []
+            while len(kids) < count:
+                if buf_pos >= len(key_buf):
+                    k0 = i + len(kids)
+                    jj = k0
+                    while jj < n_choices and choice_list[jj] != insert_code:
+                        jj += 1
+                    key_buf = generator.next_many(jj - k0)
+                    buf_pos = 0
+                take = min(count - len(kids), len(key_buf) - buf_pos)
+                kids.extend(int(x) for x in key_buf[buf_pos : buf_pos + take])
+                buf_pos += take
+            keys = encode_keys(kids)
+            if op is OpType.READ:
+                results = store.get_many(keys, busy_out=rows)
+                services_flat.extend(s for _, s in results)
+                cpus_flat.extend([CPU_PER_OP] * count)
+            elif op is OpType.UPDATE:
+                pool = self._value_pool
+                vs = self.value_size
+                m = len(pool) - vs
+                values = [
+                    pool[s0 : s0 + vs] for s0 in [(k * 131) % m for k in kids]
+                ]
+                services_flat.extend(store.put_many(keys, values, busy_out=rows))
+                cpus_flat.extend([value_cpu] * count)
+            elif op is OpType.SCAN:
+                for key in keys:
+                    pairs, service = store.scan(key, spec.scan_length)
+                    services_flat.append(service)
+                    cpus_flat.append(
+                        CPU_PER_OP + CPU_PER_BYTE * sum(len(v) for _, v in pairs)
+                    )
+                    rows.append(tuple(d.busy_seconds() for d in device_objs))
+            else:  # RMW
+                for kid, key in zip(kids, keys):
+                    _, s1 = store.get(key)
+                    s2 = store.put(key, self._value(kid))
+                    services_flat.append(s1 + s2)
+                    cpus_flat.append(value_cpu)
+                    rows.append(tuple(d.busy_seconds() for d in device_objs))
+            i = j
+        service_arr = np.asarray(services_flat, dtype=np.float64)
+        cpu_arr = np.asarray(cpus_flat, dtype=np.float64)
+        # Sequential left-to-right totals, bit-identical to scalar `+=`.
+        cpu_total = float(np.add.accumulate(cpu_arr)[-1]) if len(cpu_arr) else 0.0
+        fg_service_total = (
+            float(np.add.accumulate(service_arr)[-1]) if len(service_arr) else 0.0
+        )
+        col_state = (np.asarray(choice_list), service_arr, cpu_arr, row0, rows)
+        return cpu_total, fg_service_total, col_state
+
+    def _latencies_columnar(
+        self, ops, col_state, device_names, rho_by_device,
+    ) -> Dict[str, LatencyHistogram]:
+        """Vectorized twin of :meth:`_latencies` over the flat op columns.
+
+        Shares, scaling, and queueing sums are elementwise array ops whose
+        per-op float math is identical to the scalar path: deltas are the
+        same subtractions, ``min(1.0, service/total)`` the same divide and
+        compare, and the per-device share×factor sum accumulates in device
+        order starting from zero, exactly like the scalar ``sum(...)``.
+        """
+        codes, service_arr, cpu_arr, row0, rows = col_state
+        n = len(service_arr)
+        out: Dict[str, LatencyHistogram] = {}
+        if n == 0:
+            return out
+        rows_arr = np.empty((n + 1, len(row0)), dtype=np.float64)
+        rows_arr[0] = row0
+        rows_arr[1:] = rows
+        deltas = rows_arr[1:] - rows_arr[:-1]
+        shares = np.where(deltas > 0.0, deltas, 0.0)
+        # Row-wise total of positive deltas, accumulated in device order
+        # from 0.0 (scalar: ``total_delta = 0.0; total_delta += delta``).
+        total = np.zeros(n, dtype=np.float64)
+        for k in range(shares.shape[1]):
+            total = total + shares[:, k]
+        apply_mask = (total > 0.0) & (service_arr > 0.0)
+        safe_total = np.where(apply_mask, total, 1.0)
+        scale = np.minimum(1.0, service_arr / safe_total)
+        # scalar: shares unscaled when scale == 1.0; ``x * 1.0 == x``
+        # bitwise for finite x, so one multiply covers both branches.
+        shares = np.where(apply_mask[:, None], shares * scale[:, None], 0.0)
+        factor = {d: r / (1.0 - r) for d, r in rho_by_device.items()}
+        queued = np.zeros(n, dtype=np.float64)
+        for k, name in enumerate(device_names):
+            queued = queued + shares[:, k] * factor.get(name, 0.0)
+        samples = service_arr + cpu_arr
+        for op_idx, op in enumerate(ops):
+            mask = codes == op_idx
+            m = int(mask.sum())
+            if m == 0:
+                continue
+            arr = samples[mask]
+            noise = self.rng.exponential(1.0, size=m)
+            latencies = arr + queued[mask] * noise
+            hist = LatencyHistogram(initial_capacity=max(16, m))
+            hist.record_many(latencies)
+            out[op.value] = hist
+        return out
 
     # ------------------------------------------------------------- models
 

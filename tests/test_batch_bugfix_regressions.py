@@ -8,7 +8,7 @@ pipeline sweep.  Each test fails on the pre-fix code:
    ``_maybe_calibrate_tracker``, so update-heavy workloads never re-derived
    the hotness window from the measured object size (Eq. 1).
 3. ``PageStore.free`` released a page without invalidating its
-   ``("nvpg", page_id)`` cache entry.  Page ids are never reused, so every
+   ``page_id``-keyed cache entry.  Page ids are never reused, so every
    non-tombstone free path (zone demotion, promoted-entry eviction,
    ``drop_resident``, ``reset_state``) leaked dead bytes into the
    byte-budgeted DRAM LRU forever, evicting live entries.
@@ -100,9 +100,9 @@ class TestFreeInvalidatesCache:
         (pid,) = ps.allocate()
         ps.write(pid, 0, b"payload", TrafficKind.FOREGROUND, cache)
         ps.read(pid, TrafficKind.FOREGROUND, cache)
-        assert ("nvpg", pid) in cache
+        assert pid in cache
         ps.free(pid)
-        assert ("nvpg", pid) not in cache
+        assert pid not in cache
         assert cache.used_bytes == 0
 
     def test_drop_resident_leaves_no_dead_cache_bytes(self):
@@ -120,6 +120,6 @@ class TestFreeInvalidatesCache:
         part.put(Record(key, b"v" * 8000, 1))
         part.get(key)  # populate the page cache
         loc = part.resident_location(key)
-        assert ("nvpg", loc.page_id) in cache
+        assert loc.page_id in cache
         assert part.drop_resident(key)
-        assert ("nvpg", loc.page_id) not in cache
+        assert loc.page_id not in cache
