@@ -24,6 +24,8 @@ from repro.core.interface import KVStore
 from repro.lsm.lsmtree import LSMOptions
 from repro.nvme.config import NVMeConfig
 from repro.simssd import NVME_PROFILE, SATA_PROFILE, SimDevice
+from repro.simssd.faults import FaultInjector
+from repro.simssd.queues import QueueConfig
 
 KiB = 1024
 MiB = 1024 * KiB
@@ -53,6 +55,12 @@ class BenchScale:
     clients: int = 8
     background_threads: int = 8
     seed: int = 7
+    #: Submission queues per device (1 = the classic single-timeline
+    #: model, byte-identical digests; >1 isolates foreground from
+    #: background traffic on dedicated queues).
+    queue_count: int = 1
+    #: Per-queue depth; only meaningful with ``queue_count > 1``.
+    queue_depth: int = 32
 
     @classmethod
     def default(cls, **overrides) -> "BenchScale":
@@ -89,9 +97,22 @@ class BenchScale:
             encode_key(0), encode_key(self.record_count * 3 // 2 + 1024)
         )
 
-    def devices(self) -> tuple[SimDevice, SimDevice]:
-        nvme = SimDevice(NVME_PROFILE.with_capacity(self.nvme_bytes))
-        sata = SimDevice(SATA_PROFILE.with_capacity(self.sata_bytes))
+    def devices(
+        self, injector: "FaultInjector | None" = None
+    ) -> tuple[SimDevice, SimDevice]:
+        queues = (
+            QueueConfig(queue_count=self.queue_count, queue_depth=self.queue_depth)
+            if self.queue_count > 1
+            else None
+        )
+        nvme = SimDevice(
+            NVME_PROFILE.with_capacity(self.nvme_bytes),
+            injector=injector, queues=queues,
+        )
+        sata = SimDevice(
+            SATA_PROFILE.with_capacity(self.sata_bytes),
+            injector=injector, queues=queues,
+        )
         return nvme, sata
 
 

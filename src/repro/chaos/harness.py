@@ -39,6 +39,7 @@ from repro.parallel.pool import unwrap_all
 from repro.simssd.device import SimDevice
 from repro.simssd.faults import FaultInjector, FaultPlan
 from repro.simssd.profiles import DeviceProfile
+from repro.simssd.queues import QueueConfig
 
 KiB = 1024
 MiB = 1024 * KiB
@@ -84,6 +85,9 @@ class WindowSpec:
     start_frac: float
     end_frac: float
     latency_multiplier: float = 1.0
+    #: Target a single submission queue instead of the whole device
+    #: (requires the scenario to run with ``queue_count > 1``).
+    queue: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,8 @@ class ChaosScenario:
     restart_frac: Optional[float] = None
     #: Enable admission-control backpressure for this scenario.
     admission: bool = False
+    #: Submission queues per device (1 = classic single-timeline model).
+    queue_count: int = 1
 
 
 def default_scenarios(num_ops: int = 900) -> list[ChaosScenario]:
@@ -139,6 +145,23 @@ def default_scenarios(num_ops: int = 900) -> list[ChaosScenario]:
             ),
             restart_frac=0.85,
             admission=True,
+        ),
+        ChaosScenario(
+            # A brownout pinned to one *background* queue of a 4-queue SATA
+            # device: migration/compaction traffic routed there is
+            # surcharged while queue 0 (foreground) and the other
+            # background queues stay at full speed.  The oracle checks the
+            # same no-loss invariants; _check_window_effects asserts the
+            # queue window actually surcharged I/O.
+            name="hyperdb-queue-brownout",
+            engine="hyperdb",
+            num_ops=num_ops,
+            windows=(
+                WindowSpec(
+                    "sata", HealthState.BROWNOUT, 0.15, 0.75, 8.0, queue=1
+                ),
+            ),
+            queue_count=4,
         ),
         ChaosScenario(
             name="prismdb-nvme-outage",
@@ -314,8 +337,13 @@ def _hyperdb_config(admission: bool) -> HyperDBConfig:
 
 
 def _build_engine(scenario: ChaosScenario, injector: FaultInjector):
-    nvme = SimDevice(_NVME_PROFILE, injector=injector)
-    sata = SimDevice(_SATA_PROFILE, injector=injector)
+    queues = (
+        QueueConfig(queue_count=scenario.queue_count)
+        if scenario.queue_count > 1
+        else None
+    )
+    nvme = SimDevice(_NVME_PROFILE, injector=injector, queues=queues)
+    sata = SimDevice(_SATA_PROFILE, injector=injector, queues=queues)
     if scenario.engine == "hyperdb":
         return HyperDB(nvme, sata, _hyperdb_config(scenario.admission))
     if scenario.engine == "prismdb":
@@ -341,6 +369,7 @@ def _resolve_windows(
                 start_io=start,
                 end_io=end,
                 latency_multiplier=spec.latency_multiplier,
+                queue=spec.queue,
             )
         )
     return tuple(windows)

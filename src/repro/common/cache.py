@@ -29,7 +29,9 @@ class LRUCache:
     page and block read lands here).
     """
 
-    __slots__ = ("capacity_bytes", "_entries", "_used", "hits", "misses")
+    __slots__ = (
+        "capacity_bytes", "_entries", "_used", "hits", "misses", "evictions"
+    )
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
@@ -39,6 +41,7 @@ class LRUCache:
         self._used = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,9 +82,13 @@ class LRUCache:
             # Entry can never fit; treat as uncacheable.
             self._used = used
             return
+        evicted = 0
         while used + charge > capacity and entries:
             victim = next(iter(entries))
             used -= entries.pop(victim)[1]
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
         entries[key] = (value, charge)
         self._used = used + charge
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 
 class HealthState(enum.Enum):
@@ -51,6 +51,15 @@ class HealthWindow:
     latency_multiplier:
         Brownout service-time scale factor (>= 1.0); ignored for
         ``OFFLINE`` windows.
+    queue:
+        ``None`` (default) degrades the whole device.  A queue index
+        degrades only I/O routed to that submission queue of a
+        multi-queue device: a queue-``BROWNOUT`` surcharges exactly the
+        charges placed on that queue, a queue-``OFFLINE`` rejects only
+        I/O bound for it, and the other queues keep serving at full
+        speed.  Queue windows are resolved per-I/O (not pinned by a
+        health epoch): they model per-queue service degradation rather
+        than whole-device loss, so they never tear a multi-I/O mutation.
     """
 
     device: str
@@ -58,6 +67,7 @@ class HealthWindow:
     start_io: int
     end_io: int
     latency_multiplier: float = 1.0
+    queue: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.state is HealthState.HEALTHY:
@@ -72,6 +82,8 @@ class HealthWindow:
             raise ValueError(
                 f"latency_multiplier must be >= 1.0, got {self.latency_multiplier}"
             )
+        if self.queue is not None and self.queue < 0:
+            raise ValueError(f"queue index must be >= 0, got {self.queue}")
 
     def covers(self, io_ordinal: int) -> bool:
         return self.start_io <= io_ordinal < self.end_io
@@ -84,12 +96,37 @@ def resolve_health(
 
     ``OFFLINE`` dominates overlapping ``BROWNOUT`` windows; overlapping
     brownouts compound (their multipliers multiply), matching how stacked
-    service degradations behave on real hardware.
+    service degradations behave on real hardware.  Only *device-wide*
+    windows (``queue is None``) participate: queue-targeted windows apply
+    to individual submission queues and are resolved separately by
+    :func:`resolve_queue_health`.
     """
     state = HealthState.HEALTHY
     multiplier = 1.0
     for w in windows:
-        if w.device != device or not w.covers(io_ordinal):
+        if w.device != device or w.queue is not None or not w.covers(io_ordinal):
+            continue
+        if w.state is HealthState.OFFLINE:
+            return HealthState.OFFLINE, 1.0
+        state = HealthState.BROWNOUT
+        multiplier *= w.latency_multiplier
+    return state, multiplier
+
+
+def resolve_queue_health(
+    windows: Iterable[HealthWindow], device: str, queue: int, io_ordinal: int
+) -> Tuple[HealthState, float]:
+    """Effective ``(state, latency_multiplier)`` for one submission queue.
+
+    Considers only windows targeted at ``queue`` of ``device``; device-wide
+    degradation composes on top of this at the charge site (a device
+    brownout multiplies into every queue's charges).  Same combination
+    rules as :func:`resolve_health`: OFFLINE dominates, brownouts compound.
+    """
+    state = HealthState.HEALTHY
+    multiplier = 1.0
+    for w in windows:
+        if w.device != device or w.queue != queue or not w.covers(io_ordinal):
             continue
         if w.state is HealthState.OFFLINE:
             return HealthState.OFFLINE, 1.0

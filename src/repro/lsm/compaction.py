@@ -151,6 +151,15 @@ class LeveledCompactor:
     def compact_level(self, level_no: int) -> list[SSTable]:
         """One compaction from ``level_no`` into its child level."""
         child_no = level_no + 1
+        # Concurrency-aware placement: each compaction job picks the
+        # least-busy background queue on every device it will touch, so
+        # back-to-back jobs overlap on a multi-queue device instead of
+        # serializing (no-op on single-queue devices).
+        parent_dev = self.fs_for_level(level_no).device
+        child_dev = self.fs_for_level(child_no).device
+        parent_dev.begin_background_job(TrafficKind.COMPACTION)
+        if child_dev is not parent_dev:
+            child_dev.begin_background_job(TrafficKind.COMPACTION)
         if level_no == 0:
             inputs_parent = list(self.version.level(0))
         else:

@@ -631,6 +631,9 @@ class LSMTree:
         while self._immutables:
             imm = self._immutables.pop(0)
             fs = self.fs_for_level(first)
+            # One flush job per immutable: spread across background queues
+            # on multi-queue devices (no-op otherwise).
+            fs.device.begin_background_job(TrafficKind.FLUSH)
             device_before = fs.device.busy_seconds()
             if first == 0:
                 builder = SSTableBuilder(

@@ -167,6 +167,9 @@ class PreemptiveBlockCompactor:
         if victim is None:
             return False
         device = self.levels.fs.device
+        # Each semi-compaction job lands on the least-busy background
+        # queue (no-op on single-queue devices).
+        device.begin_background_job(TrafficKind.COMPACTION)
         traffic = device.traffic
         read_before = traffic.read_bytes(TrafficKind.COMPACTION)
         write_before = traffic.write_bytes(TrafficKind.COMPACTION)

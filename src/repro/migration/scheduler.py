@@ -136,6 +136,12 @@ class MigrationScheduler:
         zones = 0
         rec = obs.RECORDER
         device = self.performance_tier.device
+        # Place this migration job on the least-busy background queue of
+        # both tiers it moves data between (no-op on single-queue devices).
+        device.begin_background_job(TrafficKind.MIGRATION)
+        capacity_device = self.capacity_tier.fs.device
+        if capacity_device is not device:
+            capacity_device.begin_background_job(TrafficKind.MIGRATION)
         if rec is not None:
             rec.begin(
                 "migration_job", t=device.busy_seconds(),

@@ -629,6 +629,9 @@ class Partition:
         # pay with one grouped delta — no other charge interleaves with the
         # loop (frees and cache invalidations never touch the ledger), so
         # the ledger sequence is identical to per-slot charging.
+        # Each zone rebuild is one GC job: place it on the least-busy
+        # background queue (no-op on single-queue devices).
+        device.begin_background_job(TrafficKind.GC)
         self.page_store.read_many(zone.page_ids(), TrafficKind.GC)
         fast = device._fastpath and obs.RECORDER is None
         pending: list[int] = []

@@ -38,7 +38,14 @@ from repro.common.errors import (
 from repro.health.state import HealthState
 from repro.simssd.faults import FaultInjector, RetryPolicy
 from repro.simssd.profiles import DeviceProfile
+from repro.simssd.queues import QueueConfig, default_routing
 from repro.simssd.traffic import TrafficKind, TrafficStats
+
+#: Charge tuple for a non-positive page count: the scalar paths return 0.0
+#: without touching the ledger, so batch paths must contribute exactly
+#: nothing for such entries too (``_charge_for`` would bill one sequential
+#: command's latency for them).
+_ZERO_CHARGE = (0, 0.0, 0.0)
 
 
 class _HealthEpoch:
@@ -89,6 +96,13 @@ class SimDevice:
     retry_policy:
         Backoff policy for injected transient errors (defaults to a small
         exponential policy; irrelevant when no injector is attached).
+    queues:
+        Optional :class:`repro.simssd.queues.QueueConfig`.  The default
+        single-queue config reproduces the historical one-timeline model
+        bit for bit; ``queue_count > 1`` tracks per-queue ledgers, routes
+        foreground and background lanes onto disjoint queues, and lets
+        :meth:`begin_background_job` spread background jobs across the
+        least-busy eligible queues.
     """
 
     def __init__(
@@ -96,13 +110,32 @@ class SimDevice:
         profile: DeviceProfile,
         injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        queues: Optional[QueueConfig] = None,
     ) -> None:
         self.profile = profile
         #: Plain attribute (the profile is immutable): ``page_size`` sits on
         #: every I/O charge, where a property lookup is measurable.
         self.page_size = profile.page_size
-        self.traffic = TrafficStats()
+        self.queues = queues or QueueConfig()
+        self.queue_count = self.queues.queue_count
+        self.queue_depth = self.queues.queue_depth
+        self.traffic = TrafficStats(queue_count=self.queue_count)
+        #: True when this device tracks more than one submission queue —
+        #: the hot charge paths pay one attribute test for the feature.
+        self._multi_queue = self.queue_count > 1
+        #: Static eligible-queue sets per lane and the per-lane *current*
+        #: queue (mutated by :meth:`begin_background_job`).
+        self._lane_routes = default_routing(self.queue_count)
+        self._lane_queue = {k: routes[0] for k, routes in self._lane_routes.items()}
+        self._queue_mults = tuple(
+            self.queues.multiplier(q) for q in range(self.queue_count)
+        )
         self.injector = injector
+        #: True when the plan schedules *queue-targeted* health windows —
+        #: those are resolved per-I/O on top of device-wide health.
+        self._queue_guarded = injector is not None and any(
+            w.queue is not None for w in injector.plan.health_windows
+        )
         self.retry_policy = retry_policy or RetryPolicy()
         #: Extra I/O attempts issued because a transient fault was retried.
         self.retried_ios = 0
@@ -178,12 +211,63 @@ class SimDevice:
             return HealthState.HEALTHY
         return self.injector.health_of(self.profile.name)[0]
 
-    def _consult_health(self, rw: str, lane: str) -> float:
-        """Health multiplier for one I/O; honours an open epoch's pin."""
+    def _consult_health(self, rw: str, lane: str, queue: int = 0) -> float:
+        """Health multiplier for one I/O; honours an open epoch's pin.
+
+        Queue-targeted windows compose on top of device-wide health: a
+        queue brownout multiplies into the device multiplier, and a
+        queue-OFFLINE rejects the I/O (charging nothing) exactly like a
+        device-wide outage — but only for I/O routed to that queue.
+        Queue windows are never pinned by a health epoch: they model
+        per-queue service degradation, not whole-device loss, so they are
+        resolved fresh at every charge.
+        """
         pinned = self._pinned_health
         if pinned is not None:
-            return pinned[1]
-        return self._observe_health(rw, lane)[1]
+            mult = pinned[1]
+        else:
+            mult = self._observe_health(rw, lane)[1]
+        if self._queue_guarded:
+            qstate, qmult = self.injector.queue_health_of(self.profile.name, queue)
+            if qstate is HealthState.OFFLINE:
+                self.offline_rejections += 1
+                raise DeviceOfflineError(
+                    f"device {self.profile.name!r} queue {queue} offline: "
+                    f"{rw} rejected at global I/O "
+                    f"#{self.injector.total_ios + 1} ({lane})"
+                )
+            mult *= qmult
+        return mult
+
+    # -------------------------------------------------------------- queues
+
+    def queue_of(self, kind: TrafficKind) -> int:
+        """The submission queue lane ``kind`` currently charges to."""
+        return self._lane_queue[kind]
+
+    def begin_background_job(self, kind: TrafficKind) -> int:
+        """Place the next background job for ``kind`` on a queue.
+
+        Picks the least-busy queue among the lane's eligible set (ties
+        break to the lowest index, so placement is deterministic) and
+        routes the lane's subsequent charges there until the next job
+        begins.  On a single-queue device — or for the dedicated
+        foreground lanes — this is a no-op returning the lane's fixed
+        queue, so engines can call it unconditionally.
+        """
+        routes = self._lane_routes[kind]
+        if len(routes) == 1:
+            return routes[0]
+        busy = self.traffic._queue_busy
+        queue = min(routes, key=busy.__getitem__)
+        self._lane_queue[kind] = queue
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.emit(
+                "queue_route", t=self.traffic.busy_seconds(),
+                device=self.profile.name, lane=kind.value, queue=queue,
+            )
+        return queue
 
     def _observe_health(self, rw: str, lane: str) -> tuple[HealthState, float]:
         """Enforce the current health window; returns ``(state, multiplier)``.
@@ -224,7 +308,8 @@ class SimDevice:
         """
         if seconds <= 0:
             return 0.0
-        self.traffic.note_write(kind, 0, 0, seconds, 0.0)
+        queue = self._lane_queue[kind] if self._multi_queue else 0
+        self.traffic.note_write(kind, 0, 0, seconds, 0.0, queue=queue)
         self.stall_seconds += seconds
         return seconds
 
@@ -288,6 +373,17 @@ class SimDevice:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=False)
         if self._fastpath and obs.RECORDER is None:
+            if self._multi_queue:
+                queue = self._lane_queue[kind]
+                qmult = self._queue_mults[queue]
+                if qmult != 1.0:
+                    latency *= qmult
+                    transfer *= qmult
+                self.traffic.note_read(
+                    kind, num_pages * self.page_size, ios, latency, transfer,
+                    queue=queue,
+                )
+                return latency + transfer
             # Inlined ``traffic.note_read`` (identical field updates in the
             # same order): this is the single hottest call site in the
             # simulator, and the method dispatch is measurable.
@@ -299,8 +395,15 @@ class SimDevice:
             lane.read_transfer_s += transfer
             traffic._busy_s += latency + transfer
             return latency + transfer
+        queue = 0
+        if self._multi_queue:
+            queue = self._lane_queue[kind]
+            qmult = self._queue_mults[queue]
+            if qmult != 1.0:
+                latency *= qmult
+                transfer *= qmult
         if self._health_guarded:
-            mult = self._consult_health("read", kind.value)
+            mult = self._consult_health("read", kind.value, queue)
             if mult != 1.0:
                 latency *= mult
                 transfer *= mult
@@ -312,7 +415,7 @@ class SimDevice:
         attempt = 0
         while True:
             failed = self.injector.pull_read_fault() if self.injector else False
-            self.traffic.note_read(kind, nbytes, ios, latency, transfer)
+            self.traffic.note_read(kind, nbytes, ios, latency, transfer, queue=queue)
             service += latency + transfer
             if rec is not None:
                 rec.io(
@@ -355,6 +458,17 @@ class SimDevice:
             return 0.0
         ios, latency, transfer = self._charge_for(num_pages, sequential, write=True)
         if self._fastpath and obs.RECORDER is None:
+            if self._multi_queue:
+                queue = self._lane_queue[kind]
+                qmult = self._queue_mults[queue]
+                if qmult != 1.0:
+                    latency *= qmult
+                    transfer *= qmult
+                self.traffic.note_write(
+                    kind, num_pages * self.page_size, ios, latency, transfer,
+                    queue=queue,
+                )
+                return latency + transfer
             # Inlined ``traffic.note_write``; see read_pages.
             traffic = self.traffic
             lane = traffic.lanes[kind]
@@ -364,8 +478,15 @@ class SimDevice:
             lane.write_transfer_s += transfer
             traffic._busy_s += latency + transfer
             return latency + transfer
+        queue = 0
+        if self._multi_queue:
+            queue = self._lane_queue[kind]
+            qmult = self._queue_mults[queue]
+            if qmult != 1.0:
+                latency *= qmult
+                transfer *= qmult
         if self._health_guarded:
-            mult = self._consult_health("write", kind.value)
+            mult = self._consult_health("write", kind.value, queue)
             if mult != 1.0:
                 latency *= mult
                 transfer *= mult
@@ -377,7 +498,7 @@ class SimDevice:
         attempt = 0
         while True:
             failed = self.injector.pull_write_fault() if self.injector else False
-            self.traffic.note_write(kind, nbytes, ios, latency, transfer)
+            self.traffic.note_write(kind, nbytes, ios, latency, transfer, queue=queue)
             service += latency + transfer
             if rec is not None:
                 rec.io(
@@ -413,7 +534,7 @@ class SimDevice:
         pages = -(-nbytes // self.page_size)
         if pages <= 0:
             return 0.0
-        if self._fastpath and obs.RECORDER is None:
+        if self._fastpath and obs.RECORDER is None and not self._multi_queue:
             # Fully inlined fastpath (memo probe + ledger note): byte-granular
             # charges are the WAL/flush hot loop and pay for zero call depth.
             entry = self._write_charges.get(pages << 1 | sequential)
@@ -437,7 +558,7 @@ class SimDevice:
         pages = -(-nbytes // self.page_size)
         if pages <= 0:
             return 0.0
-        if self._fastpath and obs.RECORDER is None:
+        if self._fastpath and obs.RECORDER is None and not self._multi_queue:
             entry = self._read_charges.get(pages << 1 | sequential)
             if entry is None:
                 entry = self._charge_for(pages, sequential, write=False)
@@ -475,7 +596,10 @@ class SimDevice:
 
         Only legal on the unguarded fastpath — with an injector attached
         (faults, crash points, health windows) each charge can diverge, so
-        the batch degrades to the per-charge loop.
+        the batch degrades to the per-charge loop.  Non-positive page
+        counts charge nothing (service 0.0) on both paths, exactly like
+        :meth:`write_pages`; their ``busy_out`` rows repeat the running
+        busy value so per-op attribution stays aligned.
         """
         n = len(page_counts)
         if n == 0:
@@ -489,15 +613,25 @@ class SimDevice:
                     busy_out.append(traffic._busy_s)
             return np.array(services)
         charge_for = self._charge_for
-        charges = [charge_for(p, sequential, write=True) for p in page_counts]
+        charges = [
+            charge_for(p, sequential, write=True) if p > 0 else _ZERO_CHARGE
+            for p in page_counts
+        ]
         latency = np.array([c[1] for c in charges])
         transfer = np.array([c[2] for c in charges])
+        queue = self._lane_queue[kind] if self._multi_queue else 0
+        if self._multi_queue:
+            qmult = self._queue_mults[queue]
+            if qmult != 1.0:
+                latency = latency * qmult
+                transfer = transfer * qmult
         busy = self.traffic.note_write_batch(
             kind,
-            sum(page_counts) * self.page_size,
+            sum(p for p in page_counts if p > 0) * self.page_size,
             sum(c[0] for c in charges),
             latency,
             transfer,
+            queue=queue,
         )
         if busy_out is not None:
             busy_out.extend(busy.tolist())
@@ -508,26 +642,43 @@ class SimDevice:
         page_counts: "list[int]",
         kind: TrafficKind,
         sequential: bool = False,
+        busy_out: "Optional[list]" = None,
     ) -> "np.ndarray":
         """Read-side twin of :meth:`write_pages_batch`."""
         n = len(page_counts)
         if n == 0:
             return np.empty(0)
         if not (self._fastpath and obs.RECORDER is None):
-            return np.array(
-                [self.read_pages(p, kind, sequential) for p in page_counts]
-            )
+            traffic = self.traffic
+            services = []
+            for p in page_counts:
+                services.append(self.read_pages(p, kind, sequential))
+                if busy_out is not None:
+                    busy_out.append(traffic._busy_s)
+            return np.array(services)
         charge_for = self._charge_for
-        charges = [charge_for(p, sequential, write=False) for p in page_counts]
+        charges = [
+            charge_for(p, sequential, write=False) if p > 0 else _ZERO_CHARGE
+            for p in page_counts
+        ]
         latency = np.array([c[1] for c in charges])
         transfer = np.array([c[2] for c in charges])
-        self.traffic.note_read_batch(
+        queue = self._lane_queue[kind] if self._multi_queue else 0
+        if self._multi_queue:
+            qmult = self._queue_mults[queue]
+            if qmult != 1.0:
+                latency = latency * qmult
+                transfer = transfer * qmult
+        busy = self.traffic.note_read_batch(
             kind,
-            sum(page_counts) * self.page_size,
+            sum(p for p in page_counts if p > 0) * self.page_size,
             sum(c[0] for c in charges),
             latency,
             transfer,
+            queue=queue,
         )
+        if busy_out is not None:
+            busy_out.extend(busy.tolist())
         return latency + transfer
 
     # ------------------------------------------------------------ metrics
@@ -537,10 +688,26 @@ class SimDevice:
         return self.traffic.busy_seconds()
 
     def utilization(self, elapsed_s: float) -> float:
-        """Fraction of ``elapsed_s`` this device spent serving I/O."""
+        """Fraction of the device's service capacity used over ``elapsed_s``.
+
+        A device with ``queue_count`` queues can perform up to
+        ``queue_count`` busy-seconds per wall-second (queues serve
+        concurrently), so aggregate busy time is normalized by
+        ``elapsed_s * queue_count``.  Unclamped: a value above 1.0 means
+        the ledger charged more service time than the interval could
+        physically hold — an accounting bug worth surfacing, not hiding
+        (the historical ``min(1.0, ...)`` clamp swallowed it).  At
+        ``queue_count=1`` this is plain ``busy / elapsed``.
+        """
         if elapsed_s <= 0:
             return 0.0
-        return min(1.0, self.busy_seconds() / elapsed_s)
+        return self.busy_seconds() / (elapsed_s * self.queue_count)
+
+    def queue_utilization(self, elapsed_s: float) -> "list[float]":
+        """Per-queue busy fraction of ``elapsed_s`` (unclamped)."""
+        if elapsed_s <= 0:
+            return [0.0] * self.queue_count
+        return [b / elapsed_s for b in self.traffic.queue_busy_seconds()]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

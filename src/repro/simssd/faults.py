@@ -39,7 +39,12 @@ from typing import Optional
 
 from repro import obs
 from repro.common.errors import PowerLossError
-from repro.health.state import HealthState, HealthWindow, resolve_health
+from repro.health.state import (
+    HealthState,
+    HealthWindow,
+    resolve_health,
+    resolve_queue_health,
+)
 
 
 @dataclass(frozen=True)
@@ -149,6 +154,22 @@ class FaultInjector:
             return HealthState.HEALTHY, 1.0
         return resolve_health(
             self.plan.health_windows, device_name, self.total_ios + 1
+        )
+
+    def queue_health_of(
+        self, device_name: str, queue: int
+    ) -> tuple[HealthState, float]:
+        """Peek the health of one submission queue of ``device_name``.
+
+        Pure read, like :meth:`health_of`.  Only queue-targeted windows
+        (``HealthWindow.queue == queue``) contribute; device-wide windows
+        are the charge site's responsibility and compose multiplicatively
+        with the value returned here.
+        """
+        if not self.plan.health_windows:
+            return HealthState.HEALTHY, 1.0
+        return resolve_queue_health(
+            self.plan.health_windows, device_name, queue, self.total_ios + 1
         )
 
     def _budget_left(self) -> bool:

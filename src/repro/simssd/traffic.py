@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -75,7 +75,17 @@ class _Lane:
 
 @dataclass
 class TrafficStats:
-    """Byte / IO / busy-time totals for one device, split by category."""
+    """Byte / IO / busy-time totals for one device, split by category.
+
+    With ``queue_count > 1`` the ledger additionally keeps one full lane
+    set *per submission queue* plus a per-queue busy total.  The
+    device-wide lanes stay authoritative (every aggregate, snapshot, and
+    digest reads them exactly as before); the queue ledgers are a pure
+    refinement — summing a field across queues reproduces the device-wide
+    field.  At the default ``queue_count=1`` no queue structures are
+    allocated and every code path is byte-identical to the historical
+    single-timeline ledger.
+    """
 
     lanes: Dict[TrafficKind, _Lane] = field(
         default_factory=lambda: {k: _Lane() for k in TrafficKind}
@@ -83,9 +93,32 @@ class TrafficStats:
     #: Running latency+transfer total across all lanes, kept incrementally
     #: so the per-op busy-time snapshots in the runner are O(1).
     _busy_s: float = 0.0
+    #: Number of submission queues tracked (1 = classic single timeline).
+    queue_count: int = 1
+    #: Per-queue lane sets; ``None`` iff ``queue_count == 1``.
+    _queue_lanes: Optional[List[Dict[TrafficKind, _Lane]]] = field(
+        default=None, init=False, repr=False
+    )
+    #: Per-queue running busy totals; ``None`` iff ``queue_count == 1``.
+    _queue_busy: Optional[List[float]] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.queue_count < 1:
+            raise ValueError(f"queue_count must be >= 1, got {self.queue_count}")
+        if self.queue_count > 1:
+            self._queue_lanes = [
+                {k: _Lane() for k in TrafficKind} for _ in range(self.queue_count)
+            ]
+            self._queue_busy = [0.0] * self.queue_count
 
     def note_read(
-        self, kind: TrafficKind, nbytes: int, ios: int, latency_s: float, transfer_s: float
+        self,
+        kind: TrafficKind,
+        nbytes: int,
+        ios: int,
+        latency_s: float,
+        transfer_s: float,
+        queue: int = 0,
     ) -> None:
         lane = self.lanes[kind]
         lane.read_bytes += nbytes
@@ -93,9 +126,22 @@ class TrafficStats:
         lane.read_latency_s += latency_s
         lane.read_transfer_s += transfer_s
         self._busy_s += latency_s + transfer_s
+        if self._queue_lanes is not None:
+            qlane = self._queue_lanes[queue][kind]
+            qlane.read_bytes += nbytes
+            qlane.read_ios += ios
+            qlane.read_latency_s += latency_s
+            qlane.read_transfer_s += transfer_s
+            self._queue_busy[queue] += latency_s + transfer_s
 
     def note_write(
-        self, kind: TrafficKind, nbytes: int, ios: int, latency_s: float, transfer_s: float
+        self,
+        kind: TrafficKind,
+        nbytes: int,
+        ios: int,
+        latency_s: float,
+        transfer_s: float,
+        queue: int = 0,
     ) -> None:
         lane = self.lanes[kind]
         lane.write_bytes += nbytes
@@ -103,6 +149,13 @@ class TrafficStats:
         lane.write_latency_s += latency_s
         lane.write_transfer_s += transfer_s
         self._busy_s += latency_s + transfer_s
+        if self._queue_lanes is not None:
+            qlane = self._queue_lanes[queue][kind]
+            qlane.write_bytes += nbytes
+            qlane.write_ios += ios
+            qlane.write_latency_s += latency_s
+            qlane.write_transfer_s += transfer_s
+            self._queue_busy[queue] += latency_s + transfer_s
 
     def note_read_batch(
         self,
@@ -111,6 +164,7 @@ class TrafficStats:
         ios: int,
         latency_s: "np.ndarray",
         transfer_s: "np.ndarray",
+        queue: int = 0,
     ) -> "np.ndarray":
         """Apply one delta for a batch of read charges on a single lane.
 
@@ -133,6 +187,19 @@ class TrafficStats:
         )
         busy = _accumulate_seeded(self._busy_s, latency_s + transfer_s)
         self._busy_s = float(busy[-1])
+        if self._queue_lanes is not None:
+            qlane = self._queue_lanes[queue][kind]
+            qlane.read_bytes += nbytes
+            qlane.read_ios += ios
+            qlane.read_latency_s = float(
+                _accumulate_seeded(qlane.read_latency_s, latency_s)[-1]
+            )
+            qlane.read_transfer_s = float(
+                _accumulate_seeded(qlane.read_transfer_s, transfer_s)[-1]
+            )
+            self._queue_busy[queue] = float(
+                _accumulate_seeded(self._queue_busy[queue], latency_s + transfer_s)[-1]
+            )
         return busy
 
     def note_write_batch(
@@ -142,6 +209,7 @@ class TrafficStats:
         ios: int,
         latency_s: "np.ndarray",
         transfer_s: "np.ndarray",
+        queue: int = 0,
     ) -> "np.ndarray":
         """Write-side twin of :meth:`note_read_batch`."""
         lane = self.lanes[kind]
@@ -155,6 +223,19 @@ class TrafficStats:
         )
         busy = _accumulate_seeded(self._busy_s, latency_s + transfer_s)
         self._busy_s = float(busy[-1])
+        if self._queue_lanes is not None:
+            qlane = self._queue_lanes[queue][kind]
+            qlane.write_bytes += nbytes
+            qlane.write_ios += ios
+            qlane.write_latency_s = float(
+                _accumulate_seeded(qlane.write_latency_s, latency_s)[-1]
+            )
+            qlane.write_transfer_s = float(
+                _accumulate_seeded(qlane.write_transfer_s, transfer_s)[-1]
+            )
+            self._queue_busy[queue] = float(
+                _accumulate_seeded(self._queue_busy[queue], latency_s + transfer_s)[-1]
+            )
         return busy
 
     def merge(self, other: "TrafficStats") -> None:
@@ -165,7 +246,15 @@ class TrafficStats:
         associative and commutative up to float association, and exact for
         the integer byte/IO fields) equals the ledger a single unsharded
         run over the same I/Os would hold.  ``other`` is not modified.
+
+        Queue ledgers merge pairwise under the same contract; merging
+        ledgers with different queue counts is a shape error and raises.
         """
+        if self.queue_count != other.queue_count:
+            raise ValueError(
+                f"cannot merge ledgers with different queue counts "
+                f"({self.queue_count} vs {other.queue_count})"
+            )
         for kind, src in other.lanes.items():
             lane = self.lanes[kind]
             lane.read_bytes += src.read_bytes
@@ -177,6 +266,20 @@ class TrafficStats:
             lane.write_latency_s += src.write_latency_s
             lane.write_transfer_s += src.write_transfer_s
         self._busy_s += other._busy_s
+        if self._queue_lanes is not None:
+            for q in range(self.queue_count):
+                mine, theirs = self._queue_lanes[q], other._queue_lanes[q]
+                for kind, src in theirs.items():
+                    lane = mine[kind]
+                    lane.read_bytes += src.read_bytes
+                    lane.write_bytes += src.write_bytes
+                    lane.read_ios += src.read_ios
+                    lane.write_ios += src.write_ios
+                    lane.read_latency_s += src.read_latency_s
+                    lane.read_transfer_s += src.read_transfer_s
+                    lane.write_latency_s += src.write_latency_s
+                    lane.write_transfer_s += src.write_transfer_s
+                self._queue_busy[q] += other._queue_busy[q]
 
     # ----------------------------------------------------------- aggregates
 
@@ -221,8 +324,14 @@ class TrafficStats:
     def total_bytes(self) -> int:
         return self.read_bytes() + self.write_bytes()
 
-    def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """A plain-dict copy, for diffing run phases."""
+    def queue_busy_seconds(self) -> List[float]:
+        """Per-queue busy totals; ``[busy_seconds()]`` at ``queue_count=1``."""
+        if self._queue_busy is None:
+            return [self._busy_s]
+        return list(self._queue_busy)
+
+    @staticmethod
+    def _lane_dict(lanes: Dict[TrafficKind, _Lane]) -> Dict[str, Dict[str, float]]:
         return {
             kind.value: {
                 "read_bytes": lane.read_bytes,
@@ -234,8 +343,18 @@ class TrafficStats:
                 "write_latency_s": lane.write_latency_s,
                 "write_transfer_s": lane.write_transfer_s,
             }
-            for kind, lane in self.lanes.items()
+            for kind, lane in lanes.items()
         }
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A plain-dict copy, for diffing run phases."""
+        return self._lane_dict(self.lanes)
+
+    def queue_snapshot(self) -> List[Dict[str, Dict[str, float]]]:
+        """Per-queue plain-dict copies; ``[snapshot()]`` at ``queue_count=1``."""
+        if self._queue_lanes is None:
+            return [self.snapshot()]
+        return [self._lane_dict(lanes) for lanes in self._queue_lanes]
 
     def reset(self) -> None:
         self._busy_s = 0.0
@@ -244,3 +363,11 @@ class TrafficStats:
             lane.read_ios = lane.write_ios = 0
             lane.read_latency_s = lane.read_transfer_s = 0.0
             lane.write_latency_s = lane.write_transfer_s = 0.0
+        if self._queue_lanes is not None:
+            for lanes in self._queue_lanes:
+                for lane in lanes.values():
+                    lane.read_bytes = lane.write_bytes = 0
+                    lane.read_ios = lane.write_ios = 0
+                    lane.read_latency_s = lane.read_transfer_s = 0.0
+                    lane.write_latency_s = lane.write_transfer_s = 0.0
+            self._queue_busy = [0.0] * self.queue_count

@@ -28,6 +28,7 @@ TINY = PerfScale(
     par_cells=2,
     par_records=120,
     par_operations=120,
+    queue_cell_ops=300,
 )
 
 
@@ -125,6 +126,43 @@ class TestRecordRun:
             path, "current", TINY, {"lru_churn": BenchResult(1000, 1.0)}, workers=1
         )
         assert run["speedup_vs_baseline"]["lru_churn"] == 2.0
+
+
+class TestLruChurnAccounting:
+    def test_bench_exercises_hits_misses_and_evictions(self):
+        # Regression for the lru_churn charging-accounting bug: the old
+        # loop swept a cyclic key range twice the cache's entry budget, so
+        # every get missed and every put evicted — it measured only the
+        # eviction micro-path (hit_rate 0, host-scheduling sensitive) and
+        # reported phantom regressions.  The bench must exercise all three
+        # paths: recency-refresh hits, cold misses, and evictions.
+        from repro.perf.harness import bench_lru_churn
+
+        r = bench_lru_churn(TINY)
+        assert r.extra is not None
+        assert r.extra["hit_rate"] > 0.2
+        assert r.extra["evictions"] > 0
+        # Not the old all-miss loop: most ops hit the resident set.
+        assert r.extra["evictions"] < TINY.lru_ops // 2
+
+
+class TestQueueDepthBench:
+    def test_records_isolation_figure_shape(self):
+        from repro.perf.harness import bench_queue_depth
+
+        r = bench_queue_depth(TINY)
+        extra = r.extra
+        cells = extra["sim_kops"]
+        assert set(cells) == {
+            "qc1_qd32", "qc2_qd32", "qc4_qd32", "qc4_qd4", "qc4_qd1"
+        }
+        for cell in cells.values():
+            assert cell["healthy"] > 0 and cell["degraded"] > 0
+            # Brownouts can only slow the simulated device down.
+            assert cell["degraded"] <= cell["healthy"]
+        assert extra["isolation_gain_degraded"] > 0
+        # 5 shapes x (healthy, degraded) x (load + run) ops per cell.
+        assert r.ops == 5 * 2 * 2 * TINY.queue_cell_ops
 
 
 class TestParallelMode:
