@@ -35,9 +35,15 @@ from repro import obs
 from repro.chaos.cluster import (
     default_cluster_scenarios,
     run_cluster_soak,
+    scrub_cluster_scenarios,
     smoke_cluster_scenarios,
 )
-from repro.chaos.harness import default_scenarios, run_soak, smoke_scenarios
+from repro.chaos.harness import (
+    default_scenarios,
+    run_soak,
+    scrub_scenarios,
+    smoke_scenarios,
+)
 from repro.parallel import host_metadata
 
 
@@ -64,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
         "tier matrix",
     )
     parser.add_argument(
+        "--scrub",
+        action="store_true",
+        help="run only the latent-corruption scenarios (background scrub, "
+        "repair ladder, cluster anti-entropy) — the scrub CI smoke set",
+    )
+    parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the scenario fan-out (1 = serial "
         "in-process, 0 = one per core; reports are identical at any count)",
@@ -88,18 +100,20 @@ def main(argv: list[str] | None = None) -> int:
         # Cluster ops fan out to RF replicas each, so the default op count
         # is scaled down to keep run time comparable to the tier matrix.
         ops = args.ops if args.ops != 900 else 400
-        scenarios = (
-            smoke_cluster_scenarios(num_ops=min(ops, 300))
-            if args.smoke
-            else default_cluster_scenarios(num_ops=ops)
-        )
+        if args.scrub:
+            scenarios = scrub_cluster_scenarios(num_ops=ops)
+        elif args.smoke:
+            scenarios = smoke_cluster_scenarios(num_ops=min(ops, 300))
+        else:
+            scenarios = default_cluster_scenarios(num_ops=ops)
         run = run_cluster_soak
     else:
-        scenarios = (
-            smoke_scenarios(num_ops=min(args.ops, 500))
-            if args.smoke
-            else default_scenarios(num_ops=args.ops)
-        )
+        if args.scrub:
+            scenarios = scrub_scenarios(num_ops=args.ops)
+        elif args.smoke:
+            scenarios = smoke_scenarios(num_ops=min(args.ops, 500))
+        else:
+            scenarios = default_scenarios(num_ops=args.ops)
         run = run_soak
     recorder = obs.install() if args.trace_out else None
     report = run(scenarios, seed=args.seed, workers=args.workers)

@@ -30,11 +30,13 @@ from typing import Optional
 
 from repro.chaos.harness import _ops_stream
 from repro.cluster import ClusterConfig, HyperDBCluster
-from repro.common.errors import QuorumError
+from repro.common.errors import CorruptionError, QuorumError
 from repro.common.keys import encode_key
 from repro.health.state import HealthState, HealthWindow
 from repro.parallel import Job, run_jobs
 from repro.parallel.pool import unwrap_all
+from repro.scrub import ScrubConfig
+from repro.simssd.faults import FaultInjector, FaultPlan
 
 _PUMP_KEY_BASE = 40_000
 
@@ -70,6 +72,15 @@ class ClusterScenario:
     #: Node to gracefully drain mid-stream, and when.
     leave_node: Optional[str] = None
     leave_frac: float = 0.0
+    #: Per-write probability of latent media corruption on every node's
+    #: devices (surfaces at read time as checksum failures).
+    latent_rate: float = 0.0
+    #: Distinct bits flipped per latent corruption event.
+    latent_burst: int = 1
+    #: Client ops between node-local scrub passes (0 = scrub disabled).
+    scrub_interval: int = 0
+    #: Client ops between cluster anti-entropy passes (0 = disabled).
+    anti_entropy_every: int = 0
 
     def config(self) -> ClusterConfig:
         return ClusterConfig(
@@ -127,6 +138,41 @@ def default_cluster_scenarios(num_ops: int = 400) -> list[ClusterScenario]:
             windows=(
                 NodeWindowSpec("node-2", HealthState.OFFLINE, 0.35, 0.60),
             ),
+        ),
+        *scrub_cluster_scenarios(num_ops),
+    ]
+
+
+def scrub_cluster_scenarios(num_ops: int = 400) -> list[ClusterScenario]:
+    """Latent-corruption cluster soaks: with RF >= 2 and the scrub +
+    anti-entropy loop running, every quorum-acked write must survive
+    *exactly* — corrupt replicas are re-replicated from healthy ones, so
+    the oracle tolerates no loss at all, silent or detected."""
+    return [
+        ClusterScenario(
+            name="cluster-latent-scrub",
+            num_ops=num_ops,
+            replication_factor=2,
+            read_quorum=1,
+            write_quorum=2,
+            latent_rate=0.008,
+            latent_burst=2,
+            scrub_interval=120,
+            anti_entropy_every=100,
+        ),
+        ClusterScenario(
+            # Latent flips composed with a node outage: the offline node
+            # skips its scrub passes and is repaired late, after healthy
+            # replicas carried the keys through the window.
+            name="cluster-latent-outage",
+            num_ops=num_ops,
+            windows=(
+                NodeWindowSpec("node-1", HealthState.OFFLINE, 0.30, 0.55),
+            ),
+            latent_rate=0.015,
+            latent_burst=2,
+            scrub_interval=120,
+            anti_entropy_every=120,
         ),
     ]
 
@@ -191,6 +237,23 @@ class ClusterSoakResult:
     divergent_replicas: int = 0
     keys_verified: int = 0
     violations: list[str] = field(default_factory=list)
+    #: Latent-corruption accounting (all zero — and the summary line
+    #: absent — unless the scenario injects latent bitflips).
+    scrub_enabled: bool = False
+    latent_flips: int = 0
+    corrupt_replica_reads: int = 0
+    corrupt_replica_repairs: int = 0
+    scrub_detected: int = 0
+    scrub_repaired: int = 0
+    scrub_unrecoverable: int = 0
+    anti_entropy_passes: int = 0
+    anti_entropy_suspects: int = 0
+    anti_entropy_repairs: int = 0
+    #: Cluster-level rollup: total replica heals from every mechanism
+    #: (local scrub ladder, corrupt-replica read repair, anti-entropy),
+    #: and suspect keys still awaiting a quorum at the end of the run.
+    scrub_healed: int = 0
+    scrub_unhealed: int = 0
 
     @property
     def passed(self) -> bool:
@@ -226,6 +289,18 @@ class ClusterSoakResult:
             f"  nodes: offline_rejections[{reject}] brownout_ops[{brown}] "
             f"pump_ops={self.pump_ops}",
         ]
+        if self.scrub_enabled:
+            lines.append(
+                f"  scrub: latent_flips={self.latent_flips} "
+                f"detected={self.scrub_detected} "
+                f"repaired={self.scrub_repaired} "
+                f"unrecoverable={self.scrub_unrecoverable} "
+                f"corrupt_reads={self.corrupt_replica_reads} "
+                f"corrupt_repairs={self.corrupt_replica_repairs} "
+                f"anti_entropy={self.anti_entropy_passes}p/"
+                f"{self.anti_entropy_suspects}s/{self.anti_entropy_repairs}r "
+                f"healed={self.scrub_healed} unhealed={self.scrub_unhealed}"
+            )
         for v in self.violations:
             lines.append(f"  VIOLATION: {v}")
         return "\n".join(lines)
@@ -308,10 +383,35 @@ def run_cluster_scenario(
     ops = _ops_stream(
         seed * 1_000_003 + sum(scenario.name.encode()), scenario.num_ops
     )
+    injectors: dict[str, FaultInjector] = {}
+    if scenario.latent_rate > 0.0:
+        names = [f"node-{i}" for i in range(scenario.num_nodes)]
+        if scenario.join_node is not None:
+            names.append(scenario.join_node)
+        # Each node gets its own plan seed: replica traffic is nearly
+        # symmetric, so a shared latent RNG stream would fire on the same
+        # ordinal write at every node and corrupt all copies of one key
+        # at once — decorrelated streams model independent media faults.
+        injectors = {
+            name: FaultInjector(
+                FaultPlan(
+                    seed=seed * 1_000_003 + sum(name.encode()),
+                    latent_bitflip_rate=scenario.latent_rate,
+                    latent_burst_bits=scenario.latent_burst,
+                )
+            )
+            for name in names
+        }
     cluster = HyperDBCluster(
         scenario.config(),
         windows=_resolve_node_windows(scenario),
         seed=seed,
+        scrub=(
+            ScrubConfig(interval_ops=scenario.scrub_interval)
+            if scenario.scrub_interval
+            else None
+        ),
+        injectors=injectors,
     )
     oracle = _Oracle()
 
@@ -331,6 +431,12 @@ def run_cluster_scenario(
             cluster.add_node(scenario.join_node)
         if leave_at is not None and i == leave_at:
             cluster.remove_node(scenario.leave_node)
+        if (
+            scenario.anti_entropy_every
+            and i > 0
+            and i % scenario.anti_entropy_every == 0
+        ):
+            cluster.anti_entropy()
         if op == "get":
             try:
                 got, _ = cluster.get(key)
@@ -361,11 +467,18 @@ def run_cluster_scenario(
         result.violations.append(
             f"{cluster.pending_hints} hint(s) still pending after drain"
         )
+    if scenario.anti_entropy_every:
+        # Final convergence pass with every node healthy again: whatever
+        # corruption the soak left behind must be healed from replicas
+        # before the oracle demands exact read-back of every acked write.
+        cluster.anti_entropy()
 
     _verify(cluster, oracle, result)
-    _audit_replicas(cluster, oracle, result)
-    _collect(cluster, result)
+    _audit_replicas(cluster, oracle, result, scenario)
+    _collect(cluster, result, scenario)
+    result.latent_flips = sum(i.latent_bitflips for i in injectors.values())
     _check_window_effects(cluster, scenario, result)
+    _check_scrub_effects(cluster, scenario, result)
     return result
 
 
@@ -409,18 +522,29 @@ def _verify(cluster, oracle, result) -> None:
         oracle.classify(key, got, result, final=True)
 
 
-def _audit_replicas(cluster, oracle, result) -> None:
+def _audit_replicas(cluster, oracle, result, scenario) -> None:
     """Post-repair convergence: all replicas of a key hold one envelope.
 
     :meth:`read_full` repaired every stale replica during verification, so
-    any divergence left here is a real handoff/repair bug."""
+    any divergence left here is a real handoff/repair bug.  Under latent
+    injection a *repair write itself* can corrupt on the medium; such a
+    copy fails its checksum here (detected, not silent) and one more
+    ``read_full`` heals it from the surviving replicas before the
+    convergence check."""
     for key in sorted(oracle.expected):
         replicas = cluster.ring.replicas_for(
             key, cluster.config.replication_factor
         )
         seen = set()
         for name in replicas:
-            env, _ = cluster.nodes[name].get_envelope(key)
+            try:
+                env, _ = cluster.nodes[name].get_envelope(key)
+            except CorruptionError:
+                if scenario.latent_rate <= 0.0:
+                    raise
+                cluster.stats.counter("corrupt_replica_reads").add()
+                cluster.read_full(key)
+                env, _ = cluster.nodes[name].get_envelope(key)
             seen.add(None if env is None else (env[0], env[1], env[2]))
         if len(seen) > 1:
             result.divergent_replicas += 1
@@ -429,7 +553,7 @@ def _audit_replicas(cluster, oracle, result) -> None:
             )
 
 
-def _collect(cluster, result) -> None:
+def _collect(cluster, result, scenario) -> None:
     counters = cluster.counters()
     result.hints_stored = counters["hints_stored"]
     result.hints_replayed = counters["hints_replayed"]
@@ -439,6 +563,28 @@ def _collect(cluster, result) -> None:
     result.rebalance_jobs = len(cluster.rebalance_jobs)
     result.offline_rejections = dict(sorted(cluster.offline_rejections.items()))
     result.brownout_ops = dict(sorted(cluster.brownout_ops.items()))
+    if scenario.latent_rate > 0.0 or scenario.scrub_interval:
+        result.scrub_enabled = True
+        counter = cluster.stats.counter
+        result.corrupt_replica_reads = counter("corrupt_replica_reads").value
+        result.corrupt_replica_repairs = counter("corrupt_replica_repairs").value
+        result.anti_entropy_passes = counter("anti_entropy_passes").value
+        result.anti_entropy_suspects = counter("anti_entropy_suspects").value
+        result.anti_entropy_repairs = counter("anti_entropy_repairs").value
+        for name in sorted(cluster.nodes):
+            scrubber = cluster.nodes[name].db.scrubber
+            if scrubber is not None:
+                result.scrub_detected += scrubber.stats.detected
+                result.scrub_repaired += scrubber.stats.repaired
+                result.scrub_unrecoverable += scrubber.stats.unrecoverable
+        result.scrub_healed = (
+            result.scrub_repaired
+            + result.corrupt_replica_repairs
+            + result.anti_entropy_repairs
+        )
+        result.scrub_unhealed = len(cluster.unhealed_suspects) + sum(
+            len(cluster.nodes[n].db.suspect_keys) for n in sorted(cluster.nodes)
+        )
 
 
 def _check_window_effects(cluster, scenario, result) -> None:
@@ -472,6 +618,39 @@ def _check_window_effects(cluster, scenario, result) -> None:
     )
     if outage and result.hints_stored == 0 and result.unavailable_writes == 0:
         result.violations.append("node outage produced no hints or rejections")
+
+
+def _check_scrub_effects(cluster, scenario, result) -> None:
+    """Latent injection must have bitten, and the heal loop must have run."""
+    if scenario.anti_entropy_every and result.anti_entropy_passes == 0:
+        result.violations.append("anti-entropy never ran")
+    if scenario.latent_rate > 0.0:
+        if result.latent_flips == 0:
+            result.violations.append("latent injection produced no bitflips")
+        handled = (
+            result.scrub_detected
+            + result.corrupt_replica_reads
+            + result.anti_entropy_suspects
+        )
+        for node in cluster.nodes.values():
+            stats = node.db.stats
+            handled += (
+                stats.counter("nvme_corrupt_reads").value
+                + stats.counter("nvme_corrupt_maintenance").value
+                + stats.counter("semi_corrupt_blocks").value
+            )
+        if handled == 0:
+            result.violations.append(
+                "latent bitflips were injected but never detected"
+            )
+        if scenario.anti_entropy_every and result.scrub_unhealed > 0:
+            # The run ends with every node healthy and a final anti-entropy
+            # pass, so any suspect key left unhealed means the heal loop
+            # dropped it rather than deferring it.
+            result.violations.append(
+                f"{result.scrub_unhealed} suspect key(s) left unhealed "
+                f"after the final anti-entropy pass"
+            )
 
 
 # ------------------------------------------------------------------ fan-out

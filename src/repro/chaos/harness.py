@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.errors import DeviceOfflineError
+from repro.common.errors import CorruptionError, DeviceOfflineError
 from repro.common.keys import KeyRange, encode_key
 from repro.core.config import HyperDBConfig
 from repro.core.hyperdb import HyperDB
@@ -36,6 +36,7 @@ from repro.health.state import HealthState, HealthWindow
 from repro.nvme.config import NVMeConfig
 from repro.parallel import Job, run_jobs
 from repro.parallel.pool import unwrap_all
+from repro.scrub import ScrubConfig
 from repro.simssd.device import SimDevice
 from repro.simssd.faults import FaultInjector, FaultPlan
 from repro.simssd.profiles import DeviceProfile
@@ -104,6 +105,13 @@ class ChaosScenario:
     admission: bool = False
     #: Submission queues per device (1 = classic single-timeline model).
     queue_count: int = 1
+    #: Per-write probability of *latent* media corruption (flips stick on
+    #: the medium and surface at read time as checksum failures).
+    latent_rate: float = 0.0
+    #: Distinct bits flipped per latent corruption event.
+    latent_burst: int = 1
+    #: Client ops between background scrub passes (0 = scrub disabled).
+    scrub_interval: int = 0
 
 
 def default_scenarios(num_ops: int = 900) -> list[ChaosScenario]:
@@ -163,6 +171,7 @@ def default_scenarios(num_ops: int = 900) -> list[ChaosScenario]:
             ),
             queue_count=4,
         ),
+        *scrub_scenarios(num_ops),
         ChaosScenario(
             name="prismdb-nvme-outage",
             engine="prismdb",
@@ -178,6 +187,37 @@ def default_scenarios(num_ops: int = 900) -> list[ChaosScenario]:
             windows=(
                 WindowSpec("sata", HealthState.OFFLINE, 0.35, 0.50),
             ),
+        ),
+    ]
+
+
+def scrub_scenarios(num_ops: int = 900) -> list[ChaosScenario]:
+    """Latent-corruption soaks: bitflips stick on the media and the
+    scrubber + repair ladder must turn every one into *detected* (and
+    where a redundant copy exists, *healed*) corruption — the oracle
+    rejects any silent loss not explained by a flagged suspect key."""
+    return [
+        ChaosScenario(
+            name="hyperdb-latent-scrub",
+            engine="hyperdb",
+            num_ops=num_ops,
+            windows=(),
+            latent_rate=0.01,
+            latent_burst=3,
+            scrub_interval=150,
+        ),
+        ChaosScenario(
+            # Latent flips composed with a capacity outage: scrub passes
+            # that land inside the window pause and drain via catch-up,
+            # exactly like migration.
+            name="hyperdb-latent-outage-scrub",
+            engine="hyperdb",
+            num_ops=num_ops,
+            windows=(
+                WindowSpec("sata", HealthState.OFFLINE, 0.35, 0.50),
+            ),
+            latent_rate=0.003,
+            scrub_interval=150,
         ),
     ]
 
@@ -256,6 +296,18 @@ class SoakResult:
     resurrections: int = 0
     keys_verified: int = 0
     violations: list[str] = field(default_factory=list)
+    #: Latent-corruption accounting (zero unless the scenario injects
+    #: latent bitflips / arms the scrubber; the summary line is appended
+    #: only then, keeping fault-free reports byte-identical).
+    scrub_enabled: bool = False
+    latent_flips: int = 0
+    corrupt_detected: int = 0
+    excused_losses: int = 0
+    scrub_passes: int = 0
+    scrub_detected: int = 0
+    scrub_repaired: int = 0
+    scrub_unrecoverable: int = 0
+    scrub_paused: int = 0
 
     @property
     def passed(self) -> bool:
@@ -292,6 +344,17 @@ class SoakResult:
             f"catchup_drains={self.catch_up_drains} "
             f"restarts={self.restarts} pump_ops={self.pump_ops}",
         ]
+        if self.scrub_enabled:
+            lines.append(
+                f"  scrub: passes={self.scrub_passes} "
+                f"detected={self.scrub_detected} "
+                f"repaired={self.scrub_repaired} "
+                f"unrecoverable={self.scrub_unrecoverable} "
+                f"paused={self.scrub_paused} "
+                f"latent_flips={self.latent_flips} "
+                f"corrupt_detected={self.corrupt_detected} "
+                f"excused={self.excused_losses}"
+            )
         for v in self.violations:
             lines.append(f"  VIOLATION: {v}")
         return "\n".join(lines)
@@ -316,7 +379,7 @@ class SoakReport:
 # ------------------------------------------------------------------ engines
 
 
-def _hyperdb_config(admission: bool) -> HyperDBConfig:
+def _hyperdb_config(admission: bool, scrub_interval: int = 0) -> HyperDBConfig:
     # Low watermarks keep migration running throughout the soak, so the
     # capacity tier carries real traffic for the windows to bite on.
     return HyperDBConfig(
@@ -333,6 +396,7 @@ def _hyperdb_config(admission: bool) -> HyperDBConfig:
         semi_bottom_segments=16,
         semi_level1_target_bytes=128 * KiB,
         admission=AdmissionConfig() if admission else None,
+        scrub=ScrubConfig(interval_ops=scrub_interval) if scrub_interval else None,
     )
 
 
@@ -345,7 +409,10 @@ def _build_engine(scenario: ChaosScenario, injector: FaultInjector):
     nvme = SimDevice(_NVME_PROFILE, injector=injector, queues=queues)
     sata = SimDevice(_SATA_PROFILE, injector=injector, queues=queues)
     if scenario.engine == "hyperdb":
-        return HyperDB(nvme, sata, _hyperdb_config(scenario.admission))
+        return HyperDB(
+            nvme, sata,
+            _hyperdb_config(scenario.admission, scenario.scrub_interval),
+        )
     if scenario.engine == "prismdb":
         return PrismDBStore(
             nvme,
@@ -396,15 +463,24 @@ def run_scenario(scenario: ChaosScenario, seed: int = 0) -> SoakResult:
         return result
 
     windows = _resolve_windows(scenario, io_span)
-    injector = FaultInjector(FaultPlan(seed=seed, health_windows=windows))
+    injector = FaultInjector(
+        FaultPlan(
+            seed=seed,
+            health_windows=windows,
+            latent_bitflip_rate=scenario.latent_rate,
+            latent_burst_bits=scenario.latent_burst,
+        )
+    )
     engine = _build_engine(scenario, injector)
     expected = _drive(engine, ops, scenario, result)
 
     _pump_until_healthy(engine, scenario, result, expected)
     _drain_recovery(engine, scenario, result)
     _collect_degraded_stats(engine, scenario, result)
-    _verify(engine, expected, result)
+    result.latent_flips = injector.latent_bitflips
+    _verify(engine, expected, result, scenario)
     _check_window_effects(engine, scenario, result)
+    _check_scrub_effects(engine, scenario, result)
     return result
 
 
@@ -461,12 +537,24 @@ def _drive(engine, ops, scenario, result):
                     else:
                         result.unavailable_writes += 1
                 continue
+            if isinstance(slot, CorruptionError):
+                # A *detected* corrupt read: the store reported the
+                # checksum failure instead of returning wrong bytes.
+                # Never silent — only possible under latent injection.
+                if result is not None:
+                    result.corrupt_detected += 1
+                continue
             if op_ == "get":
                 got, _ = slot
                 if result is not None:
                     want = expected.get(key)
                     if got == want:
                         result.reads_ok += 1
+                    elif _is_suspect(engine, scenario, key):
+                        # The store flagged this key's newest copy as a
+                        # corruption casualty: the mismatch is *detected*
+                        # loss awaiting anti-entropy, not silent.
+                        result.excused_losses += 1
                     elif want is None:
                         result.resurrections += 1
                     elif got is None:
@@ -478,6 +566,12 @@ def _drive(engine, ops, scenario, result):
             expected[key] = val if op_ == "put" else None
             if result is not None:
                 result.writes_acked += 1
+        if (
+            result is not None
+            and scenario.scrub_interval
+            and getattr(engine, "scrubber", None) is not None
+        ):
+            engine.scrubber.maybe_run(len(batch))
         i = j
     if result is not None:
         result.ops_issued = len(ops)
@@ -539,6 +633,14 @@ def _collect_degraded_stats(engine, scenario, result):
         result.paused_migrations = ms.paused_jobs
         result.requeued_objects = ms.requeued_objects
         result.catch_up_drains = ms.catch_up_drains
+        if engine.scrubber is not None:
+            st = engine.scrubber.stats
+            result.scrub_enabled = True
+            result.scrub_passes = st.passes
+            result.scrub_detected = st.detected
+            result.scrub_repaired = st.repaired
+            result.scrub_unrecoverable = st.unrecoverable
+            result.scrub_paused = st.paused_passes
     else:
         result.failover_writes = engine.failover_writes
         result.paused_migrations = engine.paused_demotions
@@ -546,7 +648,19 @@ def _collect_degraded_stats(engine, scenario, result):
         result.catch_up_drains = engine.catch_up_drains
 
 
-def _verify(engine, expected, result):
+def _is_suspect(engine, scenario, key) -> bool:
+    """Was this key flagged by the store as a corruption casualty?
+
+    Only consulted under latent injection: a read mismatch on a suspect
+    key is *detected* loss (the single-node store has no healthy copy
+    left, and says so — anti-entropy would heal it from a replica), while
+    a mismatch on a non-suspect key is silent corruption and fails."""
+    if scenario.latent_rate <= 0.0:
+        return False
+    return key in getattr(engine, "suspect_keys", ())
+
+
+def _verify(engine, expected, result, scenario):
     """The integrity oracle: every acked write readable with latest value."""
     for key in sorted(expected):
         want = expected[key]
@@ -557,10 +671,22 @@ def _verify(engine, expected, result):
                 f"read rejected after recovery for key {key!r}"
             )
             continue
+        except CorruptionError:
+            if scenario.latent_rate > 0.0:
+                result.keys_verified += 1
+                result.corrupt_detected += 1
+            else:
+                result.violations.append(
+                    f"corruption reported without latent injection "
+                    f"for key {key!r}"
+                )
+            continue
         result.keys_verified += 1
         if got == want:
             continue
-        if want is None:
+        if _is_suspect(engine, scenario, key):
+            result.excused_losses += 1
+        elif want is None:
             result.resurrections += 1
         elif got is None:
             result.lost_writes += 1
@@ -607,6 +733,33 @@ def _check_window_effects(engine, scenario, result):
         t = dev.traffic
         if abs(t.busy_seconds() - (t.latency_seconds() + t.transfer_seconds())) > 1e-6:
             result.violations.append(f"ledger of {name!r} lost time")
+
+
+def _check_scrub_effects(engine, scenario, result):
+    """Latent injection must have bitten and scrub must have run."""
+    if scenario.scrub_interval > 0 and result.scrub_passes == 0:
+        result.violations.append("scrubber was armed but never completed a pass")
+    if scenario.latent_rate > 0.0:
+        if result.latent_flips == 0:
+            result.violations.append("latent injection produced no bitflips")
+        handled = (
+            result.scrub_detected
+            + result.corrupt_detected
+            + result.excused_losses
+        )
+        if scenario.engine == "hyperdb":
+            # Detections by foreground fall-through and by the tolerant
+            # maintenance paths count too — any one of these means the
+            # flips surfaced as *detected*, never silent.
+            handled += (
+                engine.stats.counter("nvme_corrupt_reads").value
+                + engine.stats.counter("nvme_corrupt_maintenance").value
+                + engine.stats.counter("semi_corrupt_blocks").value
+            )
+        if handled == 0:
+            result.violations.append(
+                "latent bitflips were injected but never detected"
+            )
 
 
 def measure_soak_throughput(num_ops: int = 600, seed: int = 0) -> dict:

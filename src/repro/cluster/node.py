@@ -74,7 +74,7 @@ def unpack_envelope(blob: bytes) -> tuple[int, bool, bytes]:
     )
 
 
-def _node_config(rng_seed: int) -> HyperDBConfig:
+def _node_config(rng_seed: int, scrub=None) -> HyperDBConfig:
     # Low watermarks keep per-node migration active under cluster traffic,
     # mirroring the single-node chaos configuration.
     return HyperDBConfig(
@@ -90,6 +90,7 @@ def _node_config(rng_seed: int) -> HyperDBConfig:
         semi_size_ratio=4,
         semi_bottom_segments=16,
         semi_level1_target_bytes=128 * KiB,
+        scrub=scrub,
         rng_seed=rng_seed,
     )
 
@@ -97,11 +98,18 @@ def _node_config(rng_seed: int) -> HyperDBConfig:
 class ClusterNode:
     """A named HyperDB instance serving one cluster member's replicas."""
 
-    def __init__(self, name: str, rng_seed: int = 0) -> None:
+    def __init__(
+        self, name: str, rng_seed: int = 0, injector=None, scrub=None
+    ) -> None:
         self.name = name
-        self.nvme = SimDevice(_NODE_NVME)
-        self.sata = SimDevice(_NODE_SATA)
-        self.db = HyperDB(self.nvme, self.sata, _node_config(rng_seed))
+        #: ``injector`` (a :class:`repro.simssd.faults.FaultInjector`) is
+        #: shared by both devices so latent media corruption can be
+        #: injected per node; ``scrub`` (a :class:`repro.scrub.ScrubConfig`)
+        #: arms the node's background scrubber.  Both default to off, so
+        #: existing cluster digests are untouched.
+        self.nvme = SimDevice(_NODE_NVME, injector=injector)
+        self.sata = SimDevice(_NODE_SATA, injector=injector)
+        self.db = HyperDB(self.nvme, self.sata, _node_config(rng_seed, scrub))
         #: Replica operations rejected because this node was OFFLINE.
         self.offline_rejections = 0
         #: Replica operations served (surcharged) while in BROWNOUT.

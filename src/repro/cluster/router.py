@@ -33,6 +33,7 @@ from typing import Optional
 from repro import obs
 from repro.common.errors import (
     ConfigError,
+    CorruptionError,
     DeviceOfflineError,
     OutOfSpaceError,
     QuorumError,
@@ -99,10 +100,20 @@ class HyperDBCluster:
         windows: tuple[HealthWindow, ...] = (),
         seed: int = 0,
         node_names: Optional[list[str]] = None,
+        scrub=None,
+        injectors: Optional[dict] = None,
     ) -> None:
         self.config = config
         self.windows = tuple(windows)
         self.seed = seed
+        #: Optional per-node integrity knobs: ``scrub`` (a
+        #: :class:`repro.scrub.ScrubConfig`) arms every node's background
+        #: scrubber; ``injectors`` maps node name to a
+        #: :class:`repro.simssd.faults.FaultInjector` shared by that
+        #: node's devices (latent corruption soaks).  Both default to off,
+        #: leaving existing cluster behavior and digests untouched.
+        self._scrub = scrub
+        self._injectors = dict(injectors or {})
         names = node_names or [f"node-{i}" for i in range(config.num_nodes)]
         if len(names) != config.num_nodes:
             raise ConfigError(
@@ -110,7 +121,12 @@ class HyperDBCluster:
             )
         self.ring = HashRing(names, vnodes=config.vnodes)
         self.nodes: dict[str, ClusterNode] = {
-            name: ClusterNode(name, rng_seed=seed * 1_000_003 + sum(name.encode()))
+            name: ClusterNode(
+                name,
+                rng_seed=seed * 1_000_003 + sum(name.encode()),
+                injector=self._injectors.get(name),
+                scrub=scrub,
+            )
             for name in names
         }
         #: Cluster op clock: one tick per client operation (1-based, the
@@ -119,6 +135,10 @@ class HyperDBCluster:
         self._seqno = 0
         #: Pending hinted-handoff envelopes per down node, in write order.
         self.hints: dict[str, list[tuple[int, bytes, bytes]]] = {}
+        #: Suspect keys whose anti-entropy audit read could not reach
+        #: quorum (replicas down); re-queued for the next pass so an
+        #: outage can defer healing but never cancel it.
+        self.unhealed_suspects: list[bytes] = []
         #: Every key that reached at least one replica (the rebalance
         #: planner's key universe; sorted iteration keeps plans stable).
         self.keys_seen: set[bytes] = set()
@@ -324,6 +344,9 @@ class HyperDBCluster:
         service = 0.0
         responses: list[tuple[str, Optional[tuple[int, bool, bytes]], float]] = []
         failures: dict[str, str] = {}
+        #: Replicas whose copy failed its checksum, with their brownout
+        #: multiplier — excluded from quorum resolution, repaired below.
+        corrupt: list[tuple[str, float]] = []
         for name in replicas:
             if len(responses) >= required:
                 break
@@ -332,10 +355,26 @@ class HyperDBCluster:
             except DeviceOfflineError as exc:
                 failures[exc.node_id or name] = "offline"
                 continue
-            env, s = self.nodes[name].get_envelope(key)
+            try:
+                env, s = self.nodes[name].get_envelope(key)
+            except CorruptionError:
+                # A corrupt copy is no response: fall through to the next
+                # replica (exactly like an offline one) and queue the
+                # replica for repair from the winning envelope below.
+                failures[name] = "corrupt"
+                self.stats.counter("corrupt_replica_reads").add()
+                corrupt.append((name, mult))
+                continue
             service += s * mult
             responses.append((name, env, mult))
-        ok = len(responses) >= required
+        # A corrupt replica contributes liveness to the quorum — the node
+        # answered and will accept the repair write below — but no data, so
+        # at least one intact response must exist to resolve from.  Without
+        # this an audit read (R=RF) could never converge the one corrupt
+        # replica it exists to heal.
+        ok = len(responses) >= required or (
+            bool(responses) and len(responses) + len(corrupt) >= required
+        )
         rec = obs.RECORDER
         if rec is not None:
             rec.emit(
@@ -366,6 +405,19 @@ class HyperDBCluster:
                             node=name, seqno=seq,
                             stale_seqno=env[0] if env else None,
                         )
+            # Corrupt replicas are repaired with the quorum-newest envelope:
+            # the re-write lands in the node's fast tier with a newer seqno,
+            # shadowing the copy that failed its checksum until the node's
+            # own scrub/compaction retires the corrupt bytes.
+            for name, mult in corrupt:
+                service += self.nodes[name].put_envelope(key, envelope) * mult
+                self.stats.counter("read_repairs").add()
+                self.stats.counter("corrupt_replica_repairs").add()
+                if rec is not None:
+                    rec.emit(
+                        "read_repair", t=self._service_total + service,
+                        node=name, seqno=seq, reason="corrupt",
+                    )
             if not tomb:
                 return payload, service
         return None, service
@@ -415,13 +467,88 @@ class HyperDBCluster:
     def pending_hints(self) -> int:
         return sum(len(v) for v in self.hints.values())
 
+    # ---------------------------------------------------------- anti-entropy
+
+    def anti_entropy(self) -> dict[str, int]:
+        """One cluster-wide integrity pass: scrub nodes, heal suspect keys.
+
+        Every healthy node with an armed scrubber runs one full scrub pass
+        (its local repair ladder heals what it can from the node's own
+        redundant tier).  Keys a node could *not* heal — scrub
+        unrecoverables plus copies dropped by read paths and maintenance —
+        accumulate in ``db.suspect_keys``; this pass drains them and
+        converges each one with an audit read (:meth:`read_full`), which
+        re-replicates the quorum-newest envelope onto every replica that
+        lost or corrupted its copy.  A key is truly lost only when *no*
+        replica holds any version, so at RF >= 2 a single corrupt copy is
+        always healed here.
+
+        Returns ``{"scrubbed": nodes scrubbed, "suspects": distinct keys
+        audited, "repairs": replica re-writes performed, "unreadable":
+        suspect keys whose audit read could not reach quorum}``.
+        """
+        scrubbed = 0
+        suspects: list[bytes] = []
+        seen: set[bytes] = set()
+        for key in self.unhealed_suspects:
+            if key not in seen:
+                seen.add(key)
+                suspects.append(key)
+        self.unhealed_suspects = []
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            self.clock += 1
+            if (
+                node.db.scrubber is not None
+                and self.node_health(name) is not HealthState.OFFLINE
+            ):
+                node.db.scrub()
+                scrubbed += 1
+            for key in node.db.suspect_keys:
+                if key not in seen:
+                    seen.add(key)
+                    suspects.append(key)
+            node.db.suspect_keys.clear()
+        repairs_before = self.stats.counter("read_repairs").value
+        unreadable = 0
+        for key in suspects:
+            try:
+                self.read_full(key)
+            except QuorumError:
+                # Too few live replicas to audit right now; re-queue the
+                # key so the next pass retries once more nodes are up.
+                unreadable += 1
+                self.unhealed_suspects.append(key)
+        repairs = self.stats.counter("read_repairs").value - repairs_before
+        self.stats.counter("anti_entropy_passes").add()
+        if suspects:
+            self.stats.counter("anti_entropy_suspects").add(len(suspects))
+        if repairs:
+            self.stats.counter("anti_entropy_repairs").add(repairs)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.emit(
+                "anti_entropy", t=self._service_total,
+                scrubbed=scrubbed, suspects=len(suspects),
+                repairs=repairs, unreadable=unreadable,
+            )
+        return {
+            "scrubbed": scrubbed,
+            "suspects": len(suspects),
+            "repairs": repairs,
+            "unreadable": unreadable,
+        }
+
     # ------------------------------------------------------------ rebalance
 
     def add_node(self, name: str) -> list[_RebalanceJob]:
         """Join ``name`` and migrate the shards it now replicates."""
         old_ring = self._ring_copy()
         self.nodes[name] = ClusterNode(
-            name, rng_seed=self.seed * 1_000_003 + sum(name.encode())
+            name,
+            rng_seed=self.seed * 1_000_003 + sum(name.encode()),
+            injector=self._injectors.get(name),
+            scrub=self._scrub,
         )
         self.offline_rejections.setdefault(name, 0)
         self.brownout_ops.setdefault(name, 0)

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.keys import KeyRange
 from repro.health.admission import AdmissionConfig
 from repro.nvme.config import NVMeConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scrub import ScrubConfig
 
 KiB = 1024
 MiB = 1024 * KiB
@@ -49,6 +52,10 @@ class HyperDBConfig:
     #: fill).  ``None`` — the default — disables backpressure entirely, so
     #: existing benchmarks and digests are unchanged.
     admission: Optional[AdmissionConfig] = None
+    #: Background integrity scrubbing (:mod:`repro.scrub`).  ``None`` — the
+    #: default — builds no scrubber at all, so scrub-disabled digests stay
+    #: byte-identical.  Pass a :class:`repro.scrub.ScrubConfig` to enable.
+    scrub: Optional["ScrubConfig"] = None
     rng_seed: int = 0
 
     def __post_init__(self) -> None:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro import obs
 from repro.common.cache import LRUCache
-from repro.common.errors import DeviceOfflineError
+from repro.common.errors import CorruptionError, DeviceOfflineError, ReproError
 from repro.common.records import Record
 from repro.common.stats import StatsRegistry
 from repro.core.config import HyperDBConfig
@@ -65,6 +65,14 @@ class HyperDB(KVStore):
         self.performance_tier = PerformanceTier(
             nvme_device, config.key_space, nvme_cfg, cache=self.cache
         )
+        #: Keys whose *newest* copy may have been lost to media corruption
+        #: (a non-promoted resident dropped with no authoritative
+        #: capacity-tier twin).  The cluster's anti-entropy pass drains
+        #: this to re-replicate from healthy replicas; single-node callers
+        #: can inspect it — the loss is recorded, never hidden.
+        self.suspect_keys: list[bytes] = []
+        for p in self.performance_tier.partitions:
+            p.on_corrupt_slot = self._on_corrupt_slot_dropped
 
         sata_fs = SimFilesystem(sata_device)
         semi_cfg = SemiLevelConfig(
@@ -86,6 +94,7 @@ class HyperDB(KVStore):
             rng=np.random.default_rng(config.rng_seed),
             cache=self.cache,
         )
+        self.capacity_tier.levels.on_corrupt_block = self._on_corrupt_semi_block
         self.migration = MigrationScheduler(self.performance_tier, self.capacity_tier)
         self.admission = (
             AdmissionController(config.admission)
@@ -97,6 +106,13 @@ class HyperDB(KVStore):
             cache_entries=config.nvme.object_cache_entries,
             on_pressure=self.migration.run_if_needed,
         )
+        #: Background integrity scrubber — None unless configured, so the
+        #: write/read hot paths below never pay for it by default.
+        self.scrubber = None
+        if config.scrub is not None:
+            from repro.scrub import Scrubber
+
+            self.scrubber = Scrubber(self, config.scrub)
 
     # -------------------------------------------------------------- write
 
@@ -128,6 +144,8 @@ class HyperDB(KVStore):
             self.migration.run_if_needed()
         if self.migration.has_catch_up and self.migration.capacity_online():
             self.migration.run_catch_up()
+        if self.scrubber is not None and self.scrubber.has_catch_up:
+            self.scrubber.run_catch_up()
         return service
 
     def _failover_write(self, partition, rec: Record) -> float:
@@ -205,7 +223,11 @@ class HyperDB(KVStore):
                 )
             self.stats.counter("failover_reads").add()
         else:
-            rec, service = self.performance_tier.get(key)
+            try:
+                rec, service = self.performance_tier.get(key)
+            except CorruptionError:
+                rec, service = None, 0.0
+                self._on_corrupt_resident(key)
             if rec is not None:
                 self.stats.counter("nvme_hits").add()
                 return (None if rec.is_tombstone else rec.value), service
@@ -230,6 +252,95 @@ class HyperDB(KVStore):
                 self.promotion.stage(rec)
                 self.stats.counter("promotions_staged").add()
         return rec.value, service
+
+    def _on_corrupt_resident(self, key: bytes) -> None:
+        """A resident NVMe copy failed its checksum mid-read.
+
+        The read falls through to the capacity tier (or, at cluster level,
+        to another replica) instead of propagating the error to the client.
+        The corrupt copy is dropped from the in-memory index so it cannot
+        be served again; healing the object back into the fast tier is the
+        scrubber's / read-repair's job.  When the lost copy was *not*
+        promoted it was the newest version and the SATA copy (if any) is
+        older — that degradation is counted explicitly rather than hidden.
+        """
+        partition = self.performance_tier.partition_for_key(key)
+        loc = partition.resident_location(key)
+        promoted = bool(loc is not None and loc.promoted)
+        partition.drop_resident(key)
+        self.stats.counter("nvme_corrupt_reads").add()
+        if not promoted:
+            self.stats.counter("corrupt_stale_fallbacks").add()
+            self.suspect_keys.append(key)
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "read_corruption", t=self.nvme_device.busy_seconds(),
+                tier="nvme", promoted=promoted,
+            )
+
+    def _on_corrupt_semi_block(self, table, block, superseded=frozenset()) -> None:
+        """A background capacity-tier read (compaction victim scan, merge
+        survivor read, ride-along extraction) hit a corrupt block — see
+        :attr:`repro.lsm.semi.semisstable.SemiSSTable.on_corrupt_block`.
+
+        Triage every record the block still holds against the NVMe tier so
+        the block can be dropped without *silent* loss:
+
+        * promoted resident — the NVMe copy is the same version; clearing
+          its ``promoted`` flag makes it the single authoritative copy, and
+          normal demotion re-writes the capacity twin later (repair with
+          deferred I/O);
+        * non-promoted resident — NVMe already holds a strictly newer
+          version; the corrupt copy was superseded and loses nothing;
+        * no resident — the newest copy is gone on this node: surfaced via
+          ``suspect_keys`` for anti-entropy instead of hidden.
+        """
+        self.stats.counter("semi_corrupt_blocks").add()
+        tier = self.performance_tier
+        rescued = harmless = lost = 0
+        keys = sorted(
+            k for k, e in table._key_map.items() if e[0] == block.block_id
+        )
+        for key in keys:
+            if key in superseded:
+                continue
+            partition = tier.partition_for_key(key)
+            loc = partition.resident_location(key)
+            if loc is None:
+                self.suspect_keys.append(key)
+                lost += 1
+            elif loc.promoted:
+                loc.promoted = False
+                rescued += 1
+            else:
+                harmless += 1
+        if rescued:
+            self.stats.counter("semi_corrupt_rescued").add(rescued)
+        if lost:
+            self.stats.counter("semi_corrupt_lost").add(lost)
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "semi_block_corruption", t=self.sata_device.busy_seconds(),
+                table=table.table_id, block=block.block_id,
+                rescued=rescued, superseded=harmless, lost=lost,
+            )
+
+    def _on_corrupt_slot_dropped(self, key: bytes, promoted: bool) -> None:
+        """A partition maintenance path (demotion collect, zone split,
+        hot-zone compaction) dropped a corrupt slot — see
+        :attr:`repro.nvme.partition.Partition.on_corrupt_slot`."""
+        self.stats.counter("nvme_corrupt_maintenance").add()
+        if not promoted:
+            self.stats.counter("corrupt_stale_fallbacks").add()
+            self.suspect_keys.append(key)
+        r = obs.RECORDER
+        if r is not None:
+            r.emit(
+                "maintenance_corruption", t=self.nvme_device.busy_seconds(),
+                tier="nvme", promoted=promoted,
+            )
 
     # ------------------------------------------------------- batched ops
     #
@@ -412,7 +523,11 @@ class HyperDB(KVStore):
             for key in keys:
                 try:
                     out.append(self.get(key))
-                except DeviceOfflineError as exc:
+                except (DeviceOfflineError, CorruptionError) as exc:
+                    # A captured CorruptionError is a *detected* corrupt
+                    # read (capacity-tier checksum failure with no healthy
+                    # copy left) — the caller sees the detection instead of
+                    # silently wrong bytes.
                     if not capture_errors:
                         raise
                     out.append(exc)
@@ -444,7 +559,11 @@ class HyperDB(KVStore):
                 append((None, 0.0))
             else:
                 partition = partition_for_key(key)
-                rec, service = partition.get(key)
+                try:
+                    rec, service = partition.get(key)
+                except CorruptionError:
+                    rec, service = None, 0.0
+                    self._on_corrupt_resident(key)
                 if rec is not None:
                     if nvme_hits is None:
                         nvme_hits = counter("nvme_hits")
@@ -498,7 +617,11 @@ class HyperDB(KVStore):
             pos = start
             for partition in tier.partitions[idx:]:
                 for key in partition.keys_in_range(pos, None):
-                    rec, _ = partition.get(key)
+                    try:
+                        rec, _ = partition.get(key)
+                    except CorruptionError:
+                        self._on_corrupt_resident(key)
+                        continue
                     if rec is not None:
                         yield rec
                 pos = partition.key_range.hi
@@ -528,6 +651,14 @@ class HyperDB(KVStore):
 
     def devices(self) -> dict[str, SimDevice]:
         return {"nvme": self.nvme_device, "sata": self.sata_device}
+
+    def scrub(self) -> bool:
+        """Run one background integrity-scrub pass (requires
+        ``config.scrub``).  Returns False when the pass was paused by a
+        device health window; it then runs as catch-up after recovery."""
+        if self.scrubber is None:
+            raise ReproError("scrub requires HyperDBConfig.scrub to be set")
+        return self.scrubber.run_pass()
 
     def finalize(self) -> None:
         self.promotion.drain()

@@ -353,6 +353,14 @@ class LSMTree:
             pass  # already removed by a concurrent quarantine
         self.quarantined.append(table)
         self.stats.counter("quarantined_tables").add()
+        rec = obs.RECORDER
+        if rec is not None:
+            dev = self.fs_for_level(level_no).device
+            rec.emit(
+                "quarantine", t=dev.busy_seconds(),
+                level=level_no, table=table.table_id,
+                records=table.num_records,
+            )
         self._write_manifest()
 
     # ------------------------------------------------------------- writes

@@ -105,6 +105,9 @@ class SemiLevels:
             bounds = [encode_key(lo + int(i * step)) for i in range(nseg)]
             bounds[0] = config.key_space.lo  # exact lower edge
             self._levels[level_no] = _SemiLevel(level_no, bounds)
+        #: Copied into every table created here — see
+        #: :attr:`repro.lsm.semi.semisstable.SemiSSTable.on_corrupt_block`.
+        self.on_corrupt_block = None
 
     # ------------------------------------------------------------ lookup
 
@@ -143,6 +146,7 @@ class SemiLevels:
                 block_size=self.config.block_size,
                 bits_per_key=self.config.bits_per_key,
             )
+            table.on_corrupt_block = self.on_corrupt_block
             lvl.tables[segment] = table
         return table
 

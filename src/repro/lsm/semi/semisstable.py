@@ -25,7 +25,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.common.bloom import BloomFilter
-from repro.common.errors import ReproError
+from repro.common.errors import CorruptionError, ReproError
 from repro.common.keys import KeyRange, ranges_overlap
 from repro.common.records import Record
 from repro.lsm.blocks import decode_block, encode_block, record_encoded_size
@@ -98,6 +98,14 @@ class SemiSSTable:
         #: Bumped by full_compact so cached block decodes of the previous
         #: file generation (same name, same offsets) cannot alias.
         self._generation = 0
+        #: Engine hook called as ``hook(table, block, superseded)`` when a
+        #: *background* read (compaction victim scan, merge survivor read,
+        #: ride-along extraction) finds a block whose checksum fails.  The
+        #: hook triages the block's records against redundant copies before
+        #: the block is killed; ``superseded`` names keys the caller is
+        #: about to overwrite anyway.  ``None`` (the default) keeps the
+        #: historical behavior: the :class:`CorruptionError` propagates.
+        self.on_corrupt_block = None
 
     # ----------------------------------------------------------- metadata
 
@@ -260,7 +268,14 @@ class SemiSSTable:
         for block in self.blocks:
             if block.is_dead:
                 continue
-            records, _ = self._read_block(block, kind, cache)
+            try:
+                records, _ = self._read_block(block, kind, cache)
+            except CorruptionError:
+                if self.on_corrupt_block is None:
+                    raise
+                self.on_corrupt_block(self, block, frozenset())
+                self._kill_block(block)
+                continue
             for rec in records:
                 entry = self._key_map.get(rec.key)
                 if entry is not None and entry[0] == block.block_id:
@@ -337,7 +352,15 @@ class SemiSSTable:
 
         survivors: list[Record] = []
         for block in touched.values():
-            block_records, s = self._read_block(block, kind)
+            try:
+                block_records, s = self._read_block(block, kind)
+            except CorruptionError:
+                if self.on_corrupt_block is None:
+                    raise
+                # Keys being overwritten by this merge are superseded either
+                # way; the hook triages the block's *other* survivors.
+                self.on_corrupt_block(self, block, frozenset(incoming))
+                continue
             service += s
             for rec in block_records:
                 entry = self._key_map.get(rec.key)
@@ -448,7 +471,16 @@ class SemiSSTable:
         if entry is None:
             return [], 0.0
         block = self._blocks_by_id[entry[0]]
-        records, service = self._read_block(block, kind)
+        try:
+            records, service = self._read_block(block, kind)
+        except CorruptionError:
+            if self.on_corrupt_block is None:
+                raise
+            # The triggering key is superseded by the record travelling
+            # down; the hook triages the rest, then the block dies.
+            self.on_corrupt_block(self, block, frozenset((key,)))
+            self._kill_block(block)
+            return [], 0.0
         survivors = [
             rec
             for rec in records

@@ -79,7 +79,9 @@ class PartitionCheckpoint:
         return payload + _CRC.pack(zlib.crc32(payload))
 
     @staticmethod
-    def write(partition: "Partition") -> float:
+    def write(
+        partition: "Partition", kind: TrafficKind = TrafficKind.GC
+    ) -> float:
         """Persist a checkpoint into NVMe pages; returns the service time.
 
         Crash-safe ordering: the new image is written into *fresh* pages
@@ -94,7 +96,7 @@ class PartitionCheckpoint:
         service = 0.0
         for i, pid in enumerate(pages):
             chunk = payload[i * store.page_size : (i + 1) * store.page_size]
-            service += store.write(pid, 0, chunk, TrafficKind.GC)
+            service += store.write(pid, 0, chunk, kind)
         # The new image is durable; retire the old one and switch over.
         for pid in partition._checkpoint_pages:
             store.free(pid)

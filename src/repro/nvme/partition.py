@@ -9,12 +9,13 @@ to per-partition accounting the harness can parallelize conceptually.
 
 from __future__ import annotations
 
+import zlib
 from bisect import bisect_right
-from typing import Optional
+from typing import Callable, Optional
 
 from repro import obs
 from repro.common.btree import BTreeIndex
-from repro.common.errors import ReproError
+from repro.common.errors import CorruptionError, ReproError
 from repro.common.keys import KeyRange
 from repro.common.records import Record
 from repro.hotness.tracker import HotnessTracker
@@ -84,6 +85,14 @@ class Partition:
         # Index-backup checkpoint state (§3.1); see nvme/checkpoint.py.
         self._checkpoint_pages: list[int] = []
         self._checkpoint_len = 0
+
+        #: Engine hook fired when a *maintenance* path (demotion collect,
+        #: zone split, hot-zone compaction) finds a slot whose payload no
+        #: longer matches its checksum.  Called as ``hook(key, promoted)``
+        #: after the corrupt resident copy has been dropped; ``promoted``
+        #: tells the engine whether the capacity tier still holds an
+        #: authoritative twin (drop is lossless) or the newest copy is gone.
+        self.on_corrupt_slot: Optional[Callable[[bytes, bool], None]] = None
 
     def _make_tracker(self, avg_object_size: float) -> HotnessTracker:
         capacity_objects = max(
@@ -450,7 +459,11 @@ class Partition:
                 self.hot_zone.remove_object(key, loc)
                 self.index.delete(key)
             else:
-                rec, s_read = self.hot_zone.read_object(loc, kind, self.cache)
+                try:
+                    rec, s_read = self.hot_zone.read_object(loc, kind, self.cache)
+                except CorruptionError:
+                    self._drop_corrupt_slot(self.hot_zone, key, loc)
+                    continue
                 service += s_read
                 self.hot_zone.remove_object(key, loc)
                 zone = self.zone_for_key(key)
@@ -470,6 +483,42 @@ class Partition:
         )
         self.index.insert(rec.key, new_loc)
         return service
+
+    # ------------------------------------------------- corruption handling
+
+    def _decode_slot(self, loc: SlotLocation) -> Record:
+        """Decode a resident slot from already-read pages, checksum first.
+
+        Maintenance paths (demotion collect, zone split) bulk-read a zone's
+        pages and then :meth:`~repro.nvme.pagestore.PageStore.peek` each
+        slot for free; this helper adds the same integrity gate as
+        :meth:`repro.nvme.zone.Zone.read_object`, so a latent bit flip in
+        the value bytes — structurally invisible to ``decode_one`` —
+        surfaces as :class:`CorruptionError` instead of being relocated
+        verbatim.
+        """
+        raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
+        if loc.crc is not None and zlib.crc32(raw) != loc.crc:
+            raise CorruptionError(
+                f"zone {loc.zone_id} slot checksum mismatch on page "
+                f"{loc.page_id} slot {loc.slot_index}"
+            )
+        return decode_one(raw)
+
+    def _drop_corrupt_slot(self, zone: Zone, key: bytes, loc: SlotLocation) -> None:
+        """A maintenance path hit a corrupt slot: drop it, don't crash.
+
+        A promoted slot still has its authoritative twin on the capacity
+        tier, so dropping the resident copy loses nothing; a non-promoted
+        slot *was* the newest copy, and the loss is reported through
+        :attr:`on_corrupt_slot` so the engine can count it (and, in a
+        cluster, re-replicate the key from a healthy replica).
+        """
+        zone.remove_object(key, loc)
+        self.index.delete(key)
+        hook = self.on_corrupt_slot
+        if hook is not None:
+            hook(key, loc.promoted)
 
     # ----------------------------------------------------------- demotion
 
@@ -511,8 +560,11 @@ class Partition:
                 loc: SlotLocation = self.index.get(key)
                 if loc is None or loc.zone_id != zone.zone_id:
                     continue
-                raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
-                rec = decode_one(raw)
+                try:
+                    rec = self._decode_slot(loc)
+                except CorruptionError:
+                    self._drop_corrupt_slot(zone, key, loc)
+                    continue
                 rec = Record(key, rec.value, rec.seqno, rec.deleted)
                 tracker.queries += 1
                 # Hot objects are parked rather than demoted, but only while
@@ -531,12 +583,12 @@ class Partition:
 
     # --------------------------------------------------------- checkpoint
 
-    def checkpoint(self) -> float:
+    def checkpoint(self, kind: TrafficKind = TrafficKind.GC) -> float:
         """Persist the index backup to NVMe (§3.1).  Returns service time."""
         from repro.nvme.checkpoint import PartitionCheckpoint
 
         with self.page_store.device.health_epoch:
-            return PartitionCheckpoint.write(self)
+            return PartitionCheckpoint.write(self, kind)
 
     def recover(self) -> float:
         """Rebuild in-memory index/zones from the last checkpoint.
@@ -639,8 +691,11 @@ class Partition:
             loc: SlotLocation = self.index.get(key)
             if loc is None or loc.zone_id != zone.zone_id:
                 continue
-            raw = self.page_store.peek(loc.page_id, loc.offset, loc.record_size)
-            rec = decode_one(raw)
+            try:
+                rec = self._decode_slot(loc)
+            except CorruptionError:
+                self._drop_corrupt_slot(zone, key, loc)
+                continue
             rec = Record(key, rec.value, rec.seqno, rec.deleted)
             dest = left if key < median else right
             zone.remove_object(key, loc)

@@ -379,6 +379,66 @@ def bench_cluster_soak(scale: PerfScale) -> BenchResult:
     return BenchResult(2 * n, seconds, extra=stats)
 
 
+def bench_scrub_overhead(scale: PerfScale) -> BenchResult:
+    """Foreground cost of the background integrity scrub.
+
+    Loads one migration-active cell (NVMe holds 35% of the dataset, past
+    the 512 KiB capacity floor) and drives the same deterministic
+    put/get stream twice — scrub disabled, then scrub armed at a fixed
+    cadence — charging every scrub read to the SCRUB background lane.
+    The extra dict records both simulated device times and their ratio
+    (``scrub_overhead``: what periodic full-device verification costs in
+    device seconds), plus proof the scrub actually scanned and that a
+    fault-free store scrubs clean (``detected == 0``).
+    """
+    from repro.bench.context import BenchScale, build_store
+    from repro.common.keys import encode_key
+    from repro.scrub import ScrubConfig
+
+    n = scale.queue_cell_ops
+    value = b"s" * 128
+
+    def drive(interval: int):
+        bscale = BenchScale(record_count=n, operations=n, nvme_ratio=0.35)
+        store = build_store(
+            "hyperdb",
+            bscale,
+            scrub=ScrubConfig(interval_ops=interval) if interval else None,
+        )
+        for i in range(n):
+            store.put(encode_key(i), value)
+            if interval:
+                store.scrubber.maybe_run()
+        for i in range(n):
+            store.get(encode_key(i % n))
+            if interval:
+                store.scrubber.maybe_run()
+        busy = sum(d.busy_seconds() for d in store.devices().values())
+        return store, busy
+
+    t0 = time.perf_counter()
+    _, busy_off = drive(0)
+    store_on, busy_on = drive(1000)
+    seconds = time.perf_counter() - t0
+    st = store_on.scrubber.stats
+    return BenchResult(
+        4 * n,
+        seconds,
+        extra={
+            "cell_ops": n,
+            "scrub_passes": st.passes,
+            "zone_slots_scanned": st.zone_slots_scanned,
+            "semi_blocks_scanned": st.semi_blocks_scanned,
+            "detected": st.detected,
+            "sim_busy_s_scrub_off": round(busy_off, 6),
+            "sim_busy_s_scrub_on": round(busy_on, 6),
+            "scrub_overhead": round(busy_on / busy_off, 4)
+            if busy_off > 0
+            else 0.0,
+        },
+    )
+
+
 def _queue_depth_cell(
     queue_count: int, queue_depth: int, n: int, degraded: bool
 ) -> float:
@@ -569,6 +629,7 @@ _BENCHES: Dict[str, Callable[[PerfScale], BenchResult]] = {
     "chaos_soak": bench_chaos_soak,
     "cluster_soak": bench_cluster_soak,
     "queue_depth": bench_queue_depth,
+    "scrub_overhead": bench_scrub_overhead,
 }
 
 #: Benches that manage their own process pool (run in the parent even in

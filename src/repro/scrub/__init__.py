@@ -1,0 +1,10 @@
+"""Background integrity scrub & replica repair (DESIGN.md §14)."""
+
+from repro.scrub.scrubber import (
+    ScrubConfig,
+    ScrubStats,
+    Scrubber,
+    scrub_lsm_tree,
+)
+
+__all__ = ["ScrubConfig", "ScrubStats", "Scrubber", "scrub_lsm_tree"]

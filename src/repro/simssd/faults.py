@@ -65,6 +65,16 @@ class FaultPlan:
         Optional cap on the total number of injected transient failures.
     bitflip_rate:
         Per-write probability that one bit of the persisted payload flips.
+    latent_bitflip_rate:
+        Per-write probability of *latent* corruption: the payload lands on
+        media with flipped bit(s) but the write reports success and no
+        reader is warned — only checksums (a tripping reader or a scrub
+        pass) can discover it.  Drawn from an RNG stream independent of
+        the write-time ``bitflip_rate`` stream, so enabling latent faults
+        never perturbs existing fault schedules.
+    latent_burst_bits:
+        Number of distinct bits flipped per latent corruption event
+        (>= 1); models burst/multi-bit media errors.
     crash_after_write_io:
         Power loss fires on the Nth write I/O (1-based); that write is torn.
         ``None`` disables crashing.
@@ -87,15 +97,26 @@ class FaultPlan:
     fail_write_ios: frozenset[int] = field(default_factory=frozenset)
     max_transient_faults: Optional[int] = None
     bitflip_rate: float = 0.0
+    latent_bitflip_rate: float = 0.0
+    latent_burst_bits: int = 1
     crash_after_write_io: Optional[int] = None
     torn_write: bool = True
     health_windows: tuple[HealthWindow, ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("read_error_rate", "write_error_rate", "bitflip_rate"):
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "bitflip_rate",
+            "latent_bitflip_rate",
+        ):
             v = getattr(self, name)
             if not 0.0 <= v < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {v}")
+        if self.latent_burst_bits < 1:
+            raise ValueError(
+                f"latent_burst_bits must be >= 1, got {self.latent_burst_bits}"
+            )
         if self.crash_after_write_io is not None and self.crash_after_write_io < 1:
             raise ValueError("crash_after_write_io is 1-based and must be >= 1")
         if not isinstance(self.health_windows, tuple):
@@ -112,9 +133,22 @@ class FaultInjector:
     harness can assert exactly what was injected.
     """
 
+    #: XOR'd into the seed of the latent-corruption RNG stream, keeping it
+    #: independent of the main stream (same seed, different sequence).
+    _LATENT_SEED_SALT = 0x5C12_AB1E
+
     def __init__(self, plan: Optional[FaultPlan] = None) -> None:
         self.plan = plan or FaultPlan()
         self._rng = random.Random(self.plan.seed)
+        # Latent corruption draws from its own stream so existing plans'
+        # fault sequences (and therefore every digest) are unchanged when
+        # latent faults are off — and write-time flips are unchanged when
+        # latent faults are *on*.
+        self._latent_rng = (
+            random.Random(self.plan.seed ^ self._LATENT_SEED_SALT)
+            if self.plan.latent_bitflip_rate > 0.0
+            else None
+        )
         #: Total read / write I/O calls observed (1-based ordinals).
         self.read_ios = 0
         self.write_ios = 0
@@ -122,6 +156,7 @@ class FaultInjector:
         self.transient_read_faults = 0
         self.transient_write_faults = 0
         self.bitflips = 0
+        self.latent_bitflips = 0
         #: True once the crash point fired; cleared only by :meth:`reboot`.
         self.crashed = False
         self._crash_fired = False
@@ -245,20 +280,46 @@ class FaultInjector:
     # ------------------------------------------------------------ payloads
 
     def corrupt_payload(self, data: bytes) -> bytes:
-        """Return ``data``, possibly with one seeded bit flipped (on media)."""
-        if not data or self.plan.bitflip_rate <= 0.0:
-            return data
-        if self._rng.random() >= self.plan.bitflip_rate:
-            return data
-        self.bitflips += 1
-        pos = self._rng.randrange(len(data))
-        bit = 1 << self._rng.randrange(8)
-        rec = obs.RECORDER
-        if rec is not None:
-            rec.emit("bitflip", pos=pos, nbytes=len(data))
-        out = bytearray(data)
-        out[pos] ^= bit
-        return bytes(out)
+        """Return ``data``, possibly with seeded bit(s) flipped (on media).
+
+        Write-time flips (``bitflip_rate``) draw from the main RNG stream
+        exactly as they always have; latent flips
+        (``latent_bitflip_rate``) draw from the independent latent stream
+        afterwards, so the two fault classes compose without perturbing
+        each other's schedules.
+        """
+        if data and self.plan.bitflip_rate > 0.0:
+            if self._rng.random() < self.plan.bitflip_rate:
+                self.bitflips += 1
+                pos = self._rng.randrange(len(data))
+                bit = 1 << self._rng.randrange(8)
+                rec = obs.RECORDER
+                if rec is not None:
+                    rec.emit("bitflip", pos=pos, nbytes=len(data))
+                out = bytearray(data)
+                out[pos] ^= bit
+                data = bytes(out)
+        if data and self._latent_rng is not None:
+            lrng = self._latent_rng
+            if lrng.random() < self.plan.latent_bitflip_rate:
+                self.latent_bitflips += 1
+                out = bytearray(data)
+                nbits = self.plan.latent_burst_bits
+                flipped: set[tuple[int, int]] = set()
+                while len(flipped) < min(nbits, len(data) * 8):
+                    pos = lrng.randrange(len(data))
+                    bit = lrng.randrange(8)
+                    if (pos, bit) in flipped:
+                        continue
+                    flipped.add((pos, bit))
+                    out[pos] ^= 1 << bit
+                rec = obs.RECORDER
+                if rec is not None:
+                    rec.emit(
+                        "latent_bitflip", bits=len(flipped), nbytes=len(data)
+                    )
+                data = bytes(out)
+        return data
 
     def torn_prefix_len(self, nbytes: int, torn_fraction: float) -> int:
         """How many of ``nbytes`` persisted for a torn write."""

@@ -732,7 +732,8 @@ class WorkloadRunner:
                     )
                     bg_lat = max(
                         qlanes[k]["read_latency_s"] + qlanes[k]["write_latency_s"]
-                        for k in ("flush", "compaction", "migration", "gc")
+                        for k in ("flush", "compaction", "migration", "gc", "scrub")
+                        if k in qlanes
                     )
                     slowest_queue = max(
                         slowest_queue, fg_lat / fg_conc + bg_lat / bg_conc
@@ -750,7 +751,8 @@ class WorkloadRunner:
             # lane cannot borrow the other lanes' threads.
             bg_lat = max(
                 lanes[k]["read_latency_s"] + lanes[k]["write_latency_s"]
-                for k in ("flush", "compaction", "migration", "gc")
+                for k in ("flush", "compaction", "migration", "gc", "scrub")
+                if k in lanes
             )
             bound = transfer + fg_lat / self.clients + bg_lat / bg_threads
             device_bound = max(device_bound, bound)
@@ -803,7 +805,11 @@ def _diff_snapshots(before, after):
     for device, lanes in after.items():
         out[device] = {}
         for lane, fields in lanes.items():
-            out[device][lane] = {
-                k: v - before[device][lane][k] for k, v in fields.items()
-            }
+            # Idle-omitted lanes (scrub) may appear mid-run; an absent
+            # "before" lane is all zeros, so the delta is the raw value.
+            base = before.get(device, {}).get(lane)
+            if base is None:
+                out[device][lane] = dict(fields)
+            else:
+                out[device][lane] = {k: v - base[k] for k, v in fields.items()}
     return out

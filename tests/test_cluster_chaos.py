@@ -28,6 +28,8 @@ class TestScenarioDefinitions:
             "cluster-outage-during-rebalance",
             "cluster-node-drain",
             "cluster-strict-quorum-outage",
+            "cluster-latent-scrub",
+            "cluster-latent-outage",
         ]
 
     def test_smoke_is_a_subset(self):
